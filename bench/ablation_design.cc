@@ -1,0 +1,80 @@
+// Ablation bench for the design decisions DESIGN.md marks ✦:
+//   1. commit policy: WFB vs WFC occupancy and IPC on representative
+//      profiles (the "benefit from doing WFB is small" claim, §IV-B);
+//   2. direction predictor flavour: bimodal / gshare / perceptron effect
+//      on normalized IPC (the defense must be predictor-agnostic);
+//   3. retirement latency (commit_delay): Meltdown's race window — the
+//      attack succeeds on the baseline only when the writeback-to-retire
+//      gap exceeds the transmit chain's depth.
+#include <cstdio>
+#include <vector>
+
+#include "attacks/attacks.h"
+#include "bench_util.h"
+#include "sim/sim_config.h"
+#include "workloads/runner.h"
+
+int main() {
+  using namespace safespec;
+  using benchutil::kInstrsPerRun;
+
+  const std::vector<std::string> reps = {"mcf", "deepsjeng", "lbm", "gcc"};
+
+  // ---- 1: WFB vs WFC ------------------------------------------------------
+  benchutil::print_header(
+      "Ablation 1: commit policy (IPC normalized to baseline)",
+      {"WFB", "WFC"});
+  for (const auto& name : reps) {
+    const auto profile = workloads::profile_by_name(name);
+    const auto base = workloads::run_workload(
+        profile, sim::skylake_config(shadow::CommitPolicy::kBaseline),
+        kInstrsPerRun);
+    const auto wfb = workloads::run_workload(
+        profile, sim::skylake_config(shadow::CommitPolicy::kWFB),
+        kInstrsPerRun);
+    const auto wfc = workloads::run_workload(
+        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
+        kInstrsPerRun);
+    benchutil::print_row(name, {wfb.ipc / base.ipc, wfc.ipc / base.ipc});
+  }
+  std::printf("(paper §IV-B: the WFB performance benefit is small, so WFC's\n"
+              " extra coverage — Meltdown — is worth it)\n");
+
+  // ---- 2: predictor flavour -------------------------------------------------
+  benchutil::print_header(
+      "Ablation 2: direction predictor (WFC IPC normalized to baseline)",
+      {"bimodal", "gshare", "perceptron"});
+  for (const auto& name : reps) {
+    const auto profile = workloads::profile_by_name(name);
+    std::vector<double> row;
+    for (auto kind : {predictor::DirectionKind::kBimodal,
+                      predictor::DirectionKind::kGshare,
+                      predictor::DirectionKind::kPerceptron}) {
+      auto base_config = sim::skylake_config(shadow::CommitPolicy::kBaseline);
+      auto wfc_config = sim::skylake_config(shadow::CommitPolicy::kWFC);
+      base_config.predictor.direction.kind = kind;
+      wfc_config.predictor.direction.kind = kind;
+      const auto base =
+          workloads::run_workload(profile, base_config, kInstrsPerRun);
+      const auto wfc =
+          workloads::run_workload(profile, wfc_config, kInstrsPerRun);
+      row.push_back(base.ipc == 0 ? 0 : wfc.ipc / base.ipc);
+    }
+    benchutil::print_row(name, row);
+  }
+  std::printf("(SafeSpec's relative cost is stable across predictor\n"
+              " flavours — the defense makes no predictor assumptions)\n");
+
+  // ---- 3: Meltdown vs retirement latency -------------------------------------
+  std::printf("\nAblation 3: Meltdown on the *baseline* vs commit_delay\n");
+  std::printf("%-14s %8s\n", "commit_delay", "leaks?");
+  for (int delay : {0, 1, 2, 3, 4, 8}) {
+    const auto out = attacks::run_meltdown_with_delay(
+        shadow::CommitPolicy::kBaseline, 0x7E, delay);
+    std::printf("%-14d %8s\n", delay, out.leaked ? "LEAK" : "no");
+  }
+  std::printf("(the transmit chain is ~3 cycles deep; once the\n"
+              " writeback-to-retire gap covers it, the race is won —\n"
+              " this is the P1 window real retirement pipelines expose)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Shared helpers for the figure/table reproduction benches: every bench
+// prints the paper's rows/series as an aligned text table plus the
+// geometric-mean / average summary column the figures carry.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace safespec::benchutil {
+
+/// Committed-instruction budget per benchmark run. Large enough that the
+/// occupancy/miss-rate distributions stabilise, small enough that the
+/// whole 21-benchmark sweep stays interactive.
+inline constexpr std::uint64_t kInstrsPerRun = 60'000;
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%-12s", "benchmark");
+  for (const auto& c : columns) std::printf(" %12s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < 12 + columns.size() * 13; ++i)
+    std::printf("-");
+  std::printf("\n");
+}
+
+inline void print_row(const std::string& name,
+                      const std::vector<double>& values,
+                      const char* format = "%12.4f") {
+  std::printf("%-12s", name.c_str());
+  for (double v : values) {
+    std::printf(" ");
+    std::printf(format, v);
+  }
+  std::printf("\n");
+}
+
+}  // namespace safespec::benchutil

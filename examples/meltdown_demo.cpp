@@ -1,0 +1,36 @@
+// Meltdown end to end: a user-mode program reads kernel memory through
+// the deferred permission check, recovers from the fault, and extracts
+// the value from the cache — then SafeSpec-WFC stops it while WFB
+// (wait-for-branch) demonstrably does NOT, because Meltdown involves no
+// branch (Table III).
+//
+//   $ ./examples/meltdown_demo [secret-byte]
+#include <cstdio>
+#include <cstdlib>
+
+#include "attacks/attacks.h"
+
+int main(int argc, char** argv) {
+  using namespace safespec;
+  const int secret = argc > 1 ? std::atoi(argv[1]) & 0xFF : 0x7E;
+
+  std::printf("Kernel page holds secret byte 0x%02X; attacker runs in user "
+              "mode.\n\n", secret);
+  for (auto policy : {shadow::CommitPolicy::kBaseline,
+                      shadow::CommitPolicy::kWFB,
+                      shadow::CommitPolicy::kWFC}) {
+    const auto out = attacks::run_meltdown(policy, secret);
+    std::printf("policy=%-8s  %s", shadow::to_string(policy),
+                out.leaked ? "LEAKED" : "no leak");
+    if (out.leaked) std::printf("  recovered=0x%02X", out.recovered);
+    std::printf("  [%s]\n", out.detail.c_str());
+  }
+
+  std::printf("\nWhy WFB fails here: WFB promotes shadow state once all\n"
+              "older *branches* have resolved — but the Meltdown gadget is\n"
+              "straight-line code, so the transmitting cache line is\n"
+              "promoted before the faulting load reaches commit. Only WFC\n"
+              "(wait-for-commit) holds the state until the load itself\n"
+              "commits, which it never does.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Quickstart: build a tiny program with the ProgramBuilder, run it on a
+// SkyLake-like core under baseline and SafeSpec-WFC, and read results
+// back out of the architectural state.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "isa/program.h"
+#include "sim/sim_config.h"
+#include "sim/simulator.h"
+
+int main() {
+  using namespace safespec;
+  using isa::AluOp;
+  using isa::CondOp;
+
+  // A little program: sum the first 100 integers with a loop, touch some
+  // memory, and halt.
+  constexpr Addr kData = 0x200000;
+  isa::ProgramBuilder b(0x1000);
+  b.movi(1, 0);      // i
+  b.movi(2, 100);    // bound
+  b.movi(3, 0);      // sum
+  b.movi(4, kData);  // data pointer
+  b.label("loop");
+  b.alui(AluOp::kAdd, 1, 1, 1);
+  b.alu(AluOp::kAdd, 3, 3, 1);
+  b.branch(CondOp::kLt, 1, 2, "loop");
+  b.store(3, 4, 0);  // data[0] = sum
+  b.load(5, 4, 0);   // read it back
+  b.halt();
+  auto program = b.build();
+  program.set_entry(0x1000);
+
+  for (auto policy : {shadow::CommitPolicy::kBaseline,
+                      shadow::CommitPolicy::kWFB,
+                      shadow::CommitPolicy::kWFC}) {
+    sim::Simulator sim(sim::skylake_config(policy), program);
+    sim.map_text();                     // map the code pages
+    sim.map_region(kData, kPageSize);   // map the data page
+    const auto result = sim.run();
+
+    std::printf("policy=%-8s  sum=%llu  readback=%llu  cycles=%llu  "
+                "IPC=%.3f  (stop=%s)\n",
+                shadow::to_string(policy),
+                static_cast<unsigned long long>(sim.core().reg(3)),
+                static_cast<unsigned long long>(sim.core().reg(5)),
+                static_cast<unsigned long long>(result.cycles), result.ipc,
+                result.stop == cpu::StopReason::kHalted ? "halted" : "other");
+  }
+  std::printf("\nArchitectural results are identical under every policy —\n"
+              "SafeSpec only changes where *speculative* state lives.\n");
+  return 0;
+}

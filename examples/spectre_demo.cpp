@@ -1,0 +1,34 @@
+// Spectre v1 end to end: leaks a secret byte through the d-cache on the
+// insecure baseline, then shows SafeSpec (WFB and WFC) stopping it.
+//
+//   $ ./examples/spectre_demo [secret-byte]
+#include <cstdio>
+#include <cstdlib>
+
+#include "attacks/attacks.h"
+
+int main(int argc, char** argv) {
+  using namespace safespec;
+  const int secret = argc > 1 ? std::atoi(argv[1]) & 0xFF : 0x5A;
+
+  std::printf("Planting secret byte 0x%02X beyond the victim's bounds "
+              "check...\n\n", secret);
+  for (auto policy : {shadow::CommitPolicy::kBaseline,
+                      shadow::CommitPolicy::kWFB,
+                      shadow::CommitPolicy::kWFC}) {
+    const auto out = attacks::run_spectre_v1(policy, secret);
+    std::printf("policy=%-8s  %s", shadow::to_string(policy),
+                out.leaked ? "LEAKED" : "no leak");
+    if (out.leaked) std::printf("  recovered=0x%02X", out.recovered);
+    std::printf("  [%s]\n", out.detail.c_str());
+  }
+
+  std::printf("\nThe attack mistrains the victim's bounds check, flushes\n"
+              "array1_size to widen the speculation window, reads the\n"
+              "out-of-bounds byte speculatively and transmits it through a\n"
+              "probe-array cache line; a Flush+Reload receiver (timed with\n"
+              "in-program rdcycle) recovers it. Under SafeSpec the probe\n"
+              "line only ever lives in the shadow d-cache and is annulled\n"
+              "when the mispredicted branch squashes.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Transient Speculation Attack (Fig 10) demo: shows the covert channel
+// *inside* the shadow state opening when the shadow d-cache is
+// undersized (both the drop and stall full-policies) and closing under
+// the worst-case "Secure" sizing bounded by the LDQ.
+//
+//   $ ./examples/tsa_demo
+#include <cstdio>
+
+#include "attacks/attacks.h"
+
+int main() {
+  using namespace safespec;
+
+  std::printf("TSA: a wrong-path Trojan contends for shadow d-cache entries\n"
+              "with a committed-path Spy, inside one speculation window.\n\n");
+  std::printf("%-8s %-7s %14s %14s %8s\n", "entries", "policy", "probe(bit0)",
+              "probe(bit1)", "result");
+  for (int entries : {8, 72}) {
+    for (auto fp : {shadow::FullPolicy::kDrop, shadow::FullPolicy::kStall}) {
+      attacks::TsaConfig config;
+      config.shadow_entries = entries;
+      config.full_policy = fp;
+      const auto out = attacks::run_tsa_attack(config);
+      std::printf("%-8d %-7s %14llu %14llu %8s\n", entries,
+                  shadow::to_string(fp),
+                  static_cast<unsigned long long>(out.probe_latency_bit0),
+                  static_cast<unsigned long long>(out.probe_latency_bit1),
+                  out.leaked ? "LEAK" : "closed");
+    }
+  }
+  std::printf("\nWith 8 entries the Trojan can fill the table: under the\n"
+              "drop policy the Spy's entry is discarded (its marker line\n"
+              "reads slow after commit); under the stall policy the Spy's\n"
+              "load is delayed past the squash. With the LDQ-bound sizing\n"
+              "(72) the Trojan cannot create contention at all — the\n"
+              "paper's worst-case provisioning argument (Section V).\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "attacks/attack_common.h"
+
+#include <algorithm>
+
+#include "isa/instruction.h"
+
+namespace safespec::attacks {
+
+using isa::AluOp;
+using isa::CondOp;
+using isa::ProgramBuilder;
+
+void emit_probe_flush(ProgramBuilder& b, const std::string& label_prefix) {
+  const std::string loop = label_prefix + "_flush_loop";
+  b.movi(kRegC, 0);
+  b.movi(kRegProbeBase, static_cast<std::int64_t>(Layout::kProbe));
+  b.label(loop);
+  b.alui(AluOp::kMul, kRegTmp1, kRegC, Layout::kProbeStride);
+  b.alu(AluOp::kAdd, kRegTmp1, kRegTmp1, kRegProbeBase);
+  b.flush(kRegTmp1, 0);
+  b.alui(AluOp::kAdd, kRegC, kRegC, 1);
+  b.movi(kRegTmp2, Layout::kCandidates);
+  b.branch(CondOp::kLt, kRegC, kRegTmp2, loop);
+  b.fence();
+}
+
+void emit_receiver(ProgramBuilder& b, const std::string& label_prefix) {
+  const std::string loop = label_prefix + "_rx_loop";
+  b.movi(kRegC, 0);
+  b.movi(kRegProbeBase, static_cast<std::int64_t>(Layout::kProbe));
+  b.movi(kRegResultBase, static_cast<std::int64_t>(Layout::kResults));
+  b.label(loop);
+  b.alui(AluOp::kMul, kRegTmp1, kRegC, Layout::kProbeStride);
+  b.alu(AluOp::kAdd, kRegTmp1, kRegTmp1, kRegProbeBase);
+  b.fence();
+  b.rdcycle(kRegT1);
+  b.load(kRegTmp2, kRegTmp1, 0);
+  b.fence();  // the timed load must be architecturally complete
+  b.rdcycle(kRegT2);
+  b.alu(AluOp::kSub, kRegT2, kRegT2, kRegT1);
+  b.alui(AluOp::kMul, kRegTmp1, kRegC, 8);
+  b.alu(AluOp::kAdd, kRegTmp1, kRegTmp1, kRegResultBase);
+  b.store(kRegT2, kRegTmp1, 0);
+  b.alui(AluOp::kAdd, kRegC, kRegC, 1);
+  b.movi(kRegTmp2, Layout::kCandidates);
+  b.branch(CondOp::kLt, kRegC, kRegTmp2, loop);
+  b.fence();
+}
+
+void map_attack_regions(sim::Simulator& sim) {
+  sim.map_text();
+  sim.map_region(Layout::kProbe,
+                 static_cast<std::uint64_t>(Layout::kCandidates) *
+                     Layout::kProbeStride);
+  sim.map_region(Layout::kResults,
+                 static_cast<std::uint64_t>(Layout::kCandidates) * 8);
+  sim.map_region(Layout::kArray1, kPageSize);
+  sim.map_region(Layout::kBound, kPageSize);
+  sim.map_region(Layout::kSecretUser, kPageSize);
+  sim.map_region(Layout::kFptr, kPageSize);
+}
+
+void warm_secret(sim::Simulator& sim, Addr addr, bool kernel_page) {
+  sim.core().hierarchy().fill_all_levels(line_of(addr), memory::Side::kData);
+  sim.core().dtlb().fill({page_of(addr), page_of(addr), kernel_page});
+}
+
+ReceiverReading read_receiver(const sim::Simulator& sim) {
+  ReceiverReading r;
+  r.latencies.reserve(Layout::kCandidates);
+  for (int c = 0; c < Layout::kCandidates; ++c) {
+    r.latencies.push_back(sim.peek(Layout::kResults + 8ull * c));
+  }
+  std::uint64_t best = ~0ull, second = ~0ull;
+  for (int c = 0; c < Layout::kCandidates; ++c) {
+    const auto v = r.latencies[static_cast<std::size_t>(c)];
+    if (v < best) {
+      second = best;
+      best = v;
+      r.best_candidate = c;
+    } else if (v < second) {
+      second = v;
+    }
+  }
+  r.best_latency = best;
+  r.margin = second == ~0ull ? 0 : second - best;
+  return r;
+}
+
+}  // namespace safespec::attacks

@@ -1,0 +1,75 @@
+// Proof-of-concept speculation attacks (§II, §IV-A, §V of the paper),
+// each runnable under any protection policy. Every PoC plants a secret,
+// runs the full attack end-to-end in the simulator, and reports what the
+// attacker recovered — the Table III / Table IV benches simply tabulate
+// `leaked` across policies.
+#pragma once
+
+#include "attacks/attack_common.h"
+#include "safespec/shadow_structures.h"
+
+namespace safespec::attacks {
+
+/// Spectre variant 1: bounds-check bypass (Fig. in §II-B2). The victim's
+/// branch is trained in-program with in-bounds offsets; the attack call
+/// flushes array1_size to widen the window and supplies an out-of-bounds
+/// offset reaching the secret. Flush+Reload receiver.
+AttackOutcome run_spectre_v1(shadow::CommitPolicy policy, int secret);
+
+/// Spectre variant 2: indirect branch target poisoning (§II-B3). The
+/// attacker installs the gadget address in the BTB (threat model P3),
+/// flushes the victim's function pointer, and triggers one indirect call.
+AttackOutcome run_spectre_v2(shadow::CommitPolicy policy, int secret);
+
+/// Meltdown (§II-B4): a user-mode load of a kernel address executes
+/// speculatively (P1: the permission check bites only at commit); the
+/// dependent probe load encodes the value; the fault handler runs the
+/// receiver.
+AttackOutcome run_meltdown(shadow::CommitPolicy policy, int secret);
+
+/// Meltdown with an explicit writeback-to-retire latency. The attack is a
+/// race: the dependent transmit load must issue inside this window, so
+/// sweeping it shows the structural condition for Meltdown on the
+/// *baseline* (ablation 3 in bench/ablation_design).
+AttackOutcome run_meltdown_with_delay(shadow::CommitPolicy policy, int secret,
+                                      int commit_delay);
+
+/// The paper's new I-cache variant (Fig 5, simplified to the micro-ISA):
+/// a speculative data-dependent indirect jump fetches one of 256 target
+/// lines; the receiver is an L1I residency oracle.
+AttackOutcome run_icache_attack(shadow::CommitPolicy policy, int secret);
+
+/// iTLB variant: the speculative jump targets one of 256 *pages*; the
+/// receiver is an iTLB residency oracle.
+AttackOutcome run_itlb_attack(shadow::CommitPolicy policy, int secret);
+
+/// dTLB variant: the speculative gadget loads from one of 256 pages; the
+/// receiver is a dTLB residency oracle.
+AttackOutcome run_dtlb_attack(shadow::CommitPolicy policy, int secret);
+
+/// Transient Speculation Attack (Fig 10): a wrong-path Trojan creates
+/// contention in the shadow d-cache that a committed-path Spy observes
+/// *within* the speculation window. Parameterised by the shadow sizing
+/// and full policy so the bench can show the channel opening when the
+/// structure is undersized and closing under worst-case sizing (§V).
+struct TsaConfig {
+  shadow::CommitPolicy policy = shadow::CommitPolicy::kWFC;
+  int shadow_entries = 8;  ///< undersized by default; 72 = secure sizing
+  shadow::FullPolicy full_policy = shadow::FullPolicy::kDrop;
+};
+
+struct TsaOutcome {
+  int secret_bit = 0;
+  int recovered_bit = -1;
+  bool leaked = false;
+  Cycle probe_latency_bit0 = 0;  ///< timed reload when Trojan idle
+  Cycle probe_latency_bit1 = 0;  ///< timed reload when Trojan fills
+  std::string detail;
+};
+
+TsaOutcome run_tsa_attack(const TsaConfig& config);
+
+/// Runs every table-III/IV attack under `policy` (secrets fixed by seed).
+std::vector<AttackOutcome> run_all_attacks(shadow::CommitPolicy policy);
+
+}  // namespace safespec::attacks

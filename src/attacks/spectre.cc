@@ -1,0 +1,198 @@
+// Spectre v1 (bounds-check bypass) and v2 (branch target injection).
+#include <sstream>
+
+#include "attacks/attacks.h"
+#include "predictor/branch_predictor.h"
+#include "sim/sim_config.h"
+
+namespace safespec::attacks {
+
+using isa::AluOp;
+using isa::CondOp;
+using isa::ProgramBuilder;
+using shadow::CommitPolicy;
+
+namespace {
+
+/// Attacks use a bimodal direction predictor: its pc-indexed counters
+/// make in-program mistraining deterministic, which keeps the PoCs
+/// robust. (The threat model grants the attacker full predictor control
+/// anyway — §II-C assumes predictor state is effectively programmable.)
+cpu::CoreConfig attack_config(CommitPolicy policy) {
+  auto config = sim::skylake_config(policy);
+  config.predictor.direction.kind = predictor::DirectionKind::kBimodal;
+  return config;
+}
+
+constexpr RegIndex kRegOffset = 1;   ///< victim call argument
+constexpr RegIndex kRegBoundP = 2;
+constexpr RegIndex kRegV1 = 3;
+constexpr RegIndex kRegV2 = 4;
+constexpr RegIndex kRegV3 = 5;
+constexpr RegIndex kRegV4 = 6;
+constexpr RegIndex kRegTrainC = 7;
+
+bool clearly_leaked(const ReceiverReading& rx, int secret) {
+  // The hot candidate must match and be separated from the runner-up by
+  // more than any plausible timing noise (an L2-vs-memory gap).
+  return rx.best_candidate == secret && rx.margin > 50;
+}
+
+std::string describe(const ReceiverReading& rx) {
+  std::ostringstream oss;
+  oss << "hot=" << rx.best_candidate << " lat=" << rx.best_latency
+      << " margin=" << rx.margin;
+  return oss.str();
+}
+
+}  // namespace
+
+AttackOutcome run_spectre_v1(CommitPolicy policy, int secret) {
+  // Program layout:
+  //   main: train loop (8 in-bounds victim calls)
+  //         flush probe lines; flush array1_size; fence
+  //         call victim with the malicious offset
+  //         receiver loop; halt
+  //   victim(offset in r1):
+  //         r = load [kBound]
+  //         if (offset >= r) goto skip          <- mistrained branch
+  //         v = load [kArray1 + offset*8]       <- reads the secret
+  //         junk = load [kProbe + v*stride]     <- transmits it
+  //   skip: ret
+  ProgramBuilder b(Layout::kText);
+
+  // ---- main: training --------------------------------------------------
+  b.movi(kRegTrainC, 0);
+  b.label("train_loop");
+  b.alui(AluOp::kAnd, kRegOffset, kRegTrainC, 0x7);  // offsets 0..7, in bounds
+  b.call("victim");
+  b.alui(AluOp::kAdd, kRegTrainC, kRegTrainC, 1);
+  b.movi(kRegV4, 24);
+  b.branch(CondOp::kLt, kRegTrainC, kRegV4, "train_loop");
+
+  // ---- main: widen the window and strike --------------------------------
+  emit_probe_flush(b, "v1");
+  b.movi(kRegBoundP, static_cast<std::int64_t>(Layout::kBound));
+  b.flush(kRegBoundP, 0);  // delay the bounds check (step b of §II-B2)
+  b.fence();
+  const std::int64_t malicious =
+      static_cast<std::int64_t>((Layout::kSecretUser - Layout::kArray1) / 8);
+  b.movi(kRegOffset, malicious);
+  b.call("victim");
+  b.fence();
+
+  // ---- main: receive -----------------------------------------------------
+  emit_receiver(b, "v1");
+  b.halt();
+
+  // ---- victim ------------------------------------------------------------
+  b.label("victim");
+  b.movi(kRegBoundP, static_cast<std::int64_t>(Layout::kBound));
+  b.load(kRegV1, kRegBoundP, 0);                     // r3 = array1_size
+  b.branch(CondOp::kGeu, kRegOffset, kRegV1, "skip");
+  b.alui(AluOp::kShl, kRegV2, kRegOffset, 3);        // offset * 8
+  b.movi(kRegV3, static_cast<std::int64_t>(Layout::kArray1));
+  b.alu(AluOp::kAdd, kRegV2, kRegV2, kRegV3);
+  b.load(kRegV2, kRegV2, 0);                         // v = array1[offset]
+  // Short transmit chain (one shift, probe base as displacement): the
+  // probe touch must issue before the bounds check resolves.
+  b.alui(AluOp::kShl, kRegV2, kRegV2, 8);            // v * kProbeStride
+  b.load(kRegV4, kRegV2,
+         static_cast<std::int64_t>(Layout::kProbe));  // touch probe[v]
+  b.label("skip");
+  b.ret();
+
+  auto program = b.build();
+  program.set_entry(Layout::kText);
+
+  sim::Simulator sim(attack_config(policy), std::move(program));
+  map_attack_regions(sim);
+  sim.poke(Layout::kBound, 16);  // array1_size
+  for (int i = 0; i < 16; ++i) {
+    sim.poke(Layout::kArray1 + 8ull * i, static_cast<std::uint64_t>(i % 7));
+  }
+  sim.poke(Layout::kSecretUser, static_cast<std::uint64_t>(secret));
+  warm_secret(sim, Layout::kSecretUser, /*kernel_page=*/false);
+
+  const auto result = sim.run();
+  const auto rx = read_receiver(sim);
+
+  AttackOutcome out;
+  out.name = "spectre-v1";
+  out.policy = policy;
+  out.secret = secret;
+  out.recovered = rx.best_candidate;
+  out.leaked = result.stop == cpu::StopReason::kHalted &&
+               clearly_leaked(rx, secret);
+  out.detail = describe(rx);
+  return out;
+}
+
+AttackOutcome run_spectre_v2(CommitPolicy policy, int secret) {
+  // Victim: loads a function pointer (flushed by the attacker, so the
+  // indirect branch's target arrives late) and jumps through it. The
+  // attacker has poisoned the BTB so speculation runs the gadget.
+  ProgramBuilder b(Layout::kText);
+
+  emit_probe_flush(b, "v2");
+  b.movi(kRegV1, static_cast<std::int64_t>(Layout::kFptr));
+  b.flush(kRegV1, 0);  // delay target resolution
+  b.fence();
+  // The "attacker-controlled argument" the gadget will use: address of
+  // the secret.
+  b.movi(kRegOffset, static_cast<std::int64_t>(Layout::kSecretUser));
+  b.call("victim");
+  b.fence();
+  emit_receiver(b, "v2");
+  b.halt();
+
+  // Victim function with an indirect jump through memory.
+  b.label("victim");
+  b.movi(kRegV1, static_cast<std::int64_t>(Layout::kFptr));
+  b.load(kRegV2, kRegV1, 0);
+  b.label("indirect_site");
+  b.jump_reg(kRegV2);  // architectural target: benign (below)
+
+  b.label("benign");
+  b.movi(kRegV3, 0);
+  b.ret();
+
+  // Gadget: never architecturally reached; runs only under the poisoned
+  // prediction. Reads [r1] and touches probe[value].
+  b.label("gadget");
+  b.load(kRegV2, kRegOffset, 0);
+  b.alui(AluOp::kShl, kRegV2, kRegV2, 8);  // v * kProbeStride
+  b.load(kRegV4, kRegV2, static_cast<std::int64_t>(Layout::kProbe));
+  b.ret();
+
+  auto program = b.build();
+  program.set_entry(Layout::kText);
+  const Addr indirect_pc = b.label_addr("indirect_site");
+  const Addr gadget = b.label_addr("gadget");
+  const Addr benign = b.label_addr("benign");
+
+  sim::Simulator sim(attack_config(policy), std::move(program));
+  map_attack_regions(sim);
+  sim.poke(Layout::kFptr, benign);
+  sim.poke(Layout::kSecretUser, static_cast<std::uint64_t>(secret));
+  warm_secret(sim, Layout::kSecretUser, /*kernel_page=*/false);
+
+  // Threat-model P3: the attacker's colliding branch installs the gadget
+  // as the predicted target of the victim's indirect branch.
+  sim.core().predictor().poison_btb(indirect_pc, gadget);
+
+  const auto result = sim.run();
+  const auto rx = read_receiver(sim);
+
+  AttackOutcome out;
+  out.name = "spectre-v2";
+  out.policy = policy;
+  out.secret = secret;
+  out.recovered = rx.best_candidate;
+  out.leaked = result.stop == cpu::StopReason::kHalted &&
+               clearly_leaked(rx, secret);
+  out.detail = describe(rx);
+  return out;
+}
+
+}  // namespace safespec::attacks

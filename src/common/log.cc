@@ -1,0 +1,32 @@
+#include "common/log.h"
+
+namespace safespec {
+
+namespace {
+LogLevel g_level = LogLevel::kNone;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kNone:
+      break;
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::cerr << "[" << level_tag(level) << "] " << message << "\n";
+}
+}  // namespace detail
+
+}  // namespace safespec

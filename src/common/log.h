@@ -1,0 +1,36 @@
+// Minimal leveled logging. Off by default so simulations stay quiet and
+// fast; tests and debugging sessions can raise the level per-run.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace safespec {
+
+enum class LogLevel { kNone = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Process-wide log level (simulations are single-threaded).
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}  // namespace detail
+
+/// Logs `expr` (streamed) when the global level admits `lvl`.
+#define SAFESPEC_LOG(lvl, expr)                                     \
+  do {                                                              \
+    if (static_cast<int>(::safespec::log_level()) >=                \
+        static_cast<int>(lvl)) {                                    \
+      std::ostringstream oss_;                                      \
+      oss_ << expr;                                                 \
+      ::safespec::detail::emit(lvl, oss_.str());                    \
+    }                                                               \
+  } while (false)
+
+#define LOG_WARN(expr) SAFESPEC_LOG(::safespec::LogLevel::kWarn, expr)
+#define LOG_INFO(expr) SAFESPEC_LOG(::safespec::LogLevel::kInfo, expr)
+#define LOG_DEBUG(expr) SAFESPEC_LOG(::safespec::LogLevel::kDebug, expr)
+
+}  // namespace safespec

@@ -1,0 +1,14 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+namespace safespec {
+
+double geometric_mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double v : values) log_sum += std::log(v);
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace safespec

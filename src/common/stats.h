@@ -1,0 +1,106 @@
+// Lightweight statistics primitives: named counters, ratio helpers, and
+// integer histograms with percentile queries. These back every figure in
+// the evaluation (occupancy percentiles for Figs 6-9, miss rates for
+// Figs 12-15, commit rates for Fig 16).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace safespec {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// hits / (hits + misses) convenience pair.
+struct HitMiss {
+  Counter hits;
+  Counter misses;
+
+  std::uint64_t accesses() const { return hits.value() + misses.value(); }
+  double hit_rate() const {
+    const auto total = accesses();
+    return total == 0 ? 0.0 : static_cast<double>(hits.value()) / total;
+  }
+  double miss_rate() const {
+    const auto total = accesses();
+    return total == 0 ? 0.0 : static_cast<double>(misses.value()) / total;
+  }
+  void reset() {
+    hits.reset();
+    misses.reset();
+  }
+};
+
+/// Histogram over non-negative integer samples (e.g. shadow-structure
+/// occupancy sampled every cycle). Supports the percentile query used to
+/// size shadow structures "for 99.99% of the accesses" (Figs 6-9).
+class Histogram {
+ public:
+  void record(std::uint64_t sample) {
+    if (sample >= buckets_.size()) buckets_.resize(sample + 1, 0);
+    ++buckets_[sample];
+    ++count_;
+    sum_ += sample;
+    if (sample > max_) max_ = sample;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  /// Smallest value v such that at least `fraction` of all samples are
+  /// <= v. fraction in (0, 1]; returns 0 on an empty histogram.
+  std::uint64_t percentile(double fraction) const {
+    if (count_ == 0) return 0;
+    const double target = fraction * static_cast<double>(count_);
+    std::uint64_t cumulative = 0;
+    for (std::uint64_t v = 0; v < buckets_.size(); ++v) {
+      cumulative += buckets_[v];
+      if (static_cast<double>(cumulative) >= target) return v;
+    }
+    return max_;
+  }
+
+  void reset() {
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// A registry of named counters for ad-hoc instrumentation; mainly used
+/// by tests and the examples to dump whatever a component recorded.
+class StatSet {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+
+ private:
+  std::map<std::string, Counter> counters_;
+};
+
+/// Geometric mean of a vector of positive values (used for Fig 11's
+/// normalized-IPC summary). Returns 0 for an empty input.
+double geometric_mean(const std::vector<double>& values);
+
+}  // namespace safespec

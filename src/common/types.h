@@ -1,0 +1,44 @@
+// Fundamental type aliases shared by every SafeSpec subsystem.
+#pragma once
+
+#include <cstdint>
+
+namespace safespec {
+
+/// Virtual or physical byte address. The micro-ISA is 64-bit.
+using Addr = std::uint64_t;
+
+/// Simulation time in core clock cycles.
+using Cycle = std::uint64_t;
+
+/// Architectural register index (the micro-ISA has 32 integer registers).
+using RegIndex = std::uint8_t;
+
+/// Monotonic per-core dynamic-instruction sequence number. Age comparisons
+/// between in-flight instructions use this (smaller == older).
+using SeqNum = std::uint64_t;
+
+/// Number of architectural registers in the micro-ISA.
+inline constexpr int kNumArchRegs = 32;
+
+/// Register that always reads as zero and ignores writes (like RISC x0).
+inline constexpr RegIndex kZeroReg = 0;
+
+/// Page size used by the memory system (4 KiB, as on x86-64).
+inline constexpr Addr kPageSize = 4096;
+inline constexpr int kPageShift = 12;
+
+/// Cache line size (64 B, Table II).
+inline constexpr Addr kLineSize = 64;
+inline constexpr int kLineShift = 6;
+
+/// Byte address -> cache line address (aligned).
+constexpr Addr line_of(Addr a) { return a >> kLineShift; }
+
+/// Byte address -> virtual/physical page number.
+constexpr Addr page_of(Addr a) { return a >> kPageShift; }
+
+/// Offset of a byte address within its page.
+constexpr Addr page_offset(Addr a) { return a & (kPageSize - 1); }
+
+}  // namespace safespec

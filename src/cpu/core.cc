@@ -1,0 +1,1006 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace safespec::cpu {
+
+using isa::OpClass;
+using memory::CacheHierarchy;
+using memory::Side;
+using shadow::CommitPolicy;
+using shadow::FullPolicy;
+
+namespace {
+/// Maximum decoded-but-undispatched instructions buffered by the front
+/// end. Sized to cover the fetch-to-dispatch delay at full width.
+constexpr int kFetchBufferCap = 48;
+}  // namespace
+
+Core::Core(const CoreConfig& config, const isa::Program* program,
+           memory::MainMemory* mem, memory::PageTable* page_table)
+    : config_(config),
+      program_(program),
+      mem_(mem),
+      page_table_(page_table),
+      hierarchy_(config.hierarchy),
+      itlb_(config.itlb),
+      dtlb_(config.dtlb),
+      predictor_(config.predictor),
+      shadow_dcache_(config.shadow_dcache),
+      shadow_icache_(config.shadow_icache),
+      shadow_dtlb_(config.shadow_dtlb),
+      shadow_itlb_(config.shadow_itlb) {
+  fetch_pc_ = program_->entry();
+}
+
+StopReason Core::run(Cycle max_cycles, std::uint64_t max_instrs) {
+  const Cycle deadline = cycle_ + max_cycles;
+  std::uint64_t committed_at_start = stats_.committed_instrs;
+  Cycle last_progress = cycle_;
+  std::uint64_t last_committed = stats_.committed_instrs;
+
+  while (!halted_) {
+    if (cycle_ >= deadline) {
+      stop_reason_ = StopReason::kMaxCycles;
+      break;
+    }
+    if (stats_.committed_instrs - committed_at_start >= max_instrs) {
+      stop_reason_ = StopReason::kMaxInstrs;
+      break;
+    }
+    step();
+    if (stats_.committed_instrs != last_committed) {
+      last_committed = stats_.committed_instrs;
+      last_progress = cycle_;
+    } else if (cycle_ - last_progress > 100'000) {
+      // Deadlock backstop: nothing committed for a long time. This only
+      // fires on malformed programs (e.g. committed control flow ran off
+      // the end of the text without a halt).
+      stop_reason_ = StopReason::kFaultNoHandler;
+      LOG_WARN("core wedged at pc=0x" << std::hex << fetch_pc_);
+      break;
+    }
+    // Committed control flow reached a pc with no instruction: the front
+    // end is stalled with an empty pipeline and can never refill.
+    if (fetch_stalled_ && rob_.empty() && fetch_queue_.empty() && !halted_) {
+      stop_reason_ = StopReason::kFaultNoHandler;
+      break;
+    }
+  }
+  return stop_reason_;
+}
+
+void Core::step() {
+  stage_complete();
+  stage_commit();
+  stage_issue();
+  stage_dispatch();
+  stage_fetch();
+
+  if (protection_on()) {
+    shadow_dcache_.sample_occupancy();
+    shadow_icache_.sample_occupancy();
+    shadow_dtlb_.sample_occupancy();
+    shadow_itlb_.sample_occupancy();
+  }
+  ++cycle_;
+  ++stats_.cycles;
+}
+
+// --------------------------------------------------------------------------
+// Complete: retire execution results, resolve branches (possibly squashing).
+// --------------------------------------------------------------------------
+
+void Core::stage_complete() {
+  for (std::size_t i = 0; i < rob_.size(); ++i) {
+    DynInst& di = rob_[i];
+    if (di.state != InstState::kIssued || di.done_cycle > cycle_) continue;
+    di.state = InstState::kDone;
+    if (di.inst.writes_register()) wake_dependents(di);
+    if (di.is_branch()) {
+      resolve_branch(di);
+      if (di.mispredicted) {
+        // Everything younger is gone; nothing further to complete.
+        break;
+      }
+    }
+  }
+}
+
+void Core::resolve_branch(DynInst& di) {
+  switch (di.inst.op) {
+    case OpClass::kBranch:
+      di.actual_taken = isa::eval_cond(di.inst.cond, di.src1_value,
+                                       di.src2_value);
+      di.actual_next =
+          di.actual_taken ? di.inst.target : di.pc + isa::kInstrBytes;
+      break;
+    case OpClass::kJump:
+    case OpClass::kCall:
+      di.actual_taken = true;
+      di.actual_next = di.inst.target;
+      break;
+    case OpClass::kBranchIndirect:
+      di.actual_taken = true;
+      di.actual_next = di.src1_value + static_cast<Addr>(di.inst.imm);
+      break;
+    case OpClass::kRet:
+      di.actual_taken = true;
+      di.actual_next = di.src1_value;
+      break;
+    default:
+      return;
+  }
+  di.branch_resolved = true;
+  unresolved_branches_.erase(di.seq);
+
+  // Resolution-time training — the path an attacker mistrains through.
+  predictor_.train(di.pc, di.inst, di.actual_taken, di.actual_next);
+
+  const bool correct = di.target_known && di.predicted_next == di.actual_next;
+  if (di.inst.op == OpClass::kBranch) predictor_.note_resolution(correct);
+
+  if (!correct) {
+    di.mispredicted = true;
+    ++stats_.mispredicts;
+    ++stats_.squashes;
+    squash_younger_than(di.seq, di.actual_next);
+  }
+}
+
+void Core::squash_younger_than(SeqNum seq, Addr redirect_pc) {
+  while (!rob_.empty() && rob_.back().seq > seq) {
+    DynInst& victim = rob_.back();
+    release_shadow(victim);
+    if (victim.is_branch()) unresolved_branches_.erase(victim.seq);
+    if (victim.is_load()) --loads_in_flight_;
+    if (victim.is_store()) --stores_in_flight_;
+    if (victim.state == InstState::kWaiting) --iq_occupancy_;
+    if (victim.inst.op == OpClass::kFence) fence_active_ = false;
+    ++stats_.squashed_instrs;
+    rob_.pop_back();
+  }
+  // Wrong-path decoded instructions also hold shadow references.
+  for (FetchedInst& fi : fetch_queue_) {
+    if (fi.shadow_iline != DynInst::kNoShadow) {
+      shadow_icache_.release(fi.shadow_iline);
+    }
+    if (fi.shadow_itlb != DynInst::kNoShadow) {
+      shadow_itlb_.release(fi.shadow_itlb);
+    }
+    stats_.squashed_instrs++;
+  }
+  fetch_queue_.clear();
+  release_pending_fetch_refs();
+  fetch_pc_ = redirect_pc;
+  fetch_stalled_ = false;
+  fetch_busy_until_ = cycle_ + 1;
+  rebuild_rename_map();
+}
+
+void Core::release_pending_fetch_refs() {
+  if (pending_iline_ != DynInst::kNoShadow) {
+    shadow_icache_.release(pending_iline_);
+    pending_iline_ = DynInst::kNoShadow;
+  }
+  if (pending_itlb_ != DynInst::kNoShadow) {
+    shadow_itlb_.release(pending_itlb_);
+    pending_itlb_ = DynInst::kNoShadow;
+  }
+}
+
+void Core::rebuild_rename_map() {
+  std::fill(std::begin(rename_), std::end(rename_), SeqNum{0});
+  for (const DynInst& di : rob_) {
+    if (di.inst.writes_register()) rename_[di.inst.dst] = di.seq;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Commit.
+// --------------------------------------------------------------------------
+
+void Core::stage_commit() {
+  // WFB promotion sweep: an instruction's shadow state becomes commitable
+  // once no older branch remains unresolved (§III "wait-for-branch").
+  if (config_.policy == CommitPolicy::kWFB) {
+    for (DynInst& di : rob_) {
+      if (di.state == InstState::kWaiting || di.shadow_promoted) continue;
+      if (older_unresolved_branch_exists(di.seq)) continue;
+      // A branch's own resolution must also be in (it may itself be the
+      // mispredicted one, in which case it never reaches here unsquashed).
+      if (di.is_branch() && !di.branch_resolved) continue;
+      promote_shadow(di);
+    }
+  }
+
+  for (int n = 0; n < config_.commit_width && !rob_.empty(); ++n) {
+    DynInst& head = rob_.front();
+    if (head.state != InstState::kDone) break;
+    // Retirement pipeline: completion-to-retire takes commit_delay cycles.
+    if (cycle_ < head.done_cycle + static_cast<Cycle>(config_.commit_delay)) {
+      break;
+    }
+
+    if (head.fault != Fault::kNone) {
+      raise_fault(head);
+      return;  // pipeline redirected; stop committing this cycle
+    }
+    commit_one(head);
+    rob_.pop_front();
+    if (halted_) return;
+  }
+}
+
+void Core::commit_one(DynInst& head) {
+  // Architectural register update.
+  if (head.inst.writes_register()) {
+    regs_[head.inst.dst] = head.result;
+    if (rename_[head.inst.dst] == head.seq) rename_[head.inst.dst] = 0;
+  }
+
+  switch (head.inst.op) {
+    case OpClass::kStore:
+      // TSO: the store's memory and cache side effects happen at commit,
+      // which is why stores need no shadow structure (§IV-B).
+      mem_->write64(head.physical_addr, head.src2_value);
+      hierarchy_.fill_all_levels(line_of(head.physical_addr), Side::kData);
+      --stores_in_flight_;
+      ++stats_.committed_stores;
+      break;
+    case OpClass::kLoad:
+      --loads_in_flight_;
+      ++stats_.committed_loads;
+      break;
+    case OpClass::kFlush:
+      hierarchy_.flush_line(line_of(head.physical_addr));
+      break;
+    case OpClass::kFence:
+      fence_active_ = false;
+      break;
+    case OpClass::kHalt:
+      halted_ = true;
+      stop_reason_ = StopReason::kHalted;
+      // Drain: anything younger can never commit; annul its shadow state
+      // so end-of-run invariants (empty shadow tables) hold.
+      squash_younger_than(head.seq, head.pc);
+      fetch_stalled_ = true;
+      break;
+    default:
+      break;
+  }
+  if (head.is_branch()) ++stats_.committed_branches;
+
+  // WFC: shadow state is promoted only now, when the producing
+  // instruction is guaranteed architectural (§III "wait-for-commit").
+  // Under WFB the sweep above already promoted; promote_shadow is
+  // idempotent via shadow_promoted. Baseline holds no references.
+  promote_shadow(head);
+
+  ++stats_.committed_instrs;
+}
+
+void Core::raise_fault(DynInst& head) {
+  ++stats_.faults;
+  ++stats_.squashes;
+  // The faulting instruction never commits: its own shadow state is
+  // annulled (under WFC this is exactly what stops Meltdown — the
+  // dependent gadget load's line dies here too, with the rest of the
+  // younger window).
+  release_shadow(head);
+  if (head.is_branch()) unresolved_branches_.erase(head.seq);
+  if (head.is_load()) --loads_in_flight_;
+  if (head.is_store()) --stores_in_flight_;
+  const SeqNum seq = head.seq;
+  const auto handler = program_->fault_handler();
+  squash_younger_than(seq, handler.value_or(0));
+  // Remove the faulting head itself.
+  rob_.pop_front();
+  rebuild_rename_map();
+  if (!handler.has_value()) {
+    halted_ = true;
+    stop_reason_ = StopReason::kFaultNoHandler;
+  }
+}
+
+bool Core::older_unresolved_branch_exists(SeqNum seq) const {
+  if (unresolved_branches_.empty()) return false;
+  return *unresolved_branches_.begin() < seq;
+}
+
+// --------------------------------------------------------------------------
+// Shadow promotion / annulment.
+// --------------------------------------------------------------------------
+
+void Core::promote_shadow(DynInst& di) {
+  if (di.shadow_promoted) {
+    // WFB already moved the state; nothing left to do at commit.
+    di.shadow_dline = DynInst::kNoShadow;
+    di.shadow_iline = DynInst::kNoShadow;
+    di.shadow_dtlb = DynInst::kNoShadow;
+    di.shadow_itlb = DynInst::kNoShadow;
+    di.walker_refs.clear();
+    return;
+  }
+  di.shadow_promoted = true;
+  if (di.shadow_dline != DynInst::kNoShadow || !di.walker_refs.empty()) {
+    LOG_DEBUG("promote pc=0x" << std::hex << di.pc << std::dec << " @"
+                              << cycle_ << " dline=" << di.shadow_dline
+                              << " walkers=" << di.walker_refs.size());
+  }
+  if (di.shadow_dline != DynInst::kNoShadow) {
+    const Addr line = shadow_dcache_.key(di.shadow_dline);
+    shadow_dcache_.mark_promoted(di.shadow_dline);
+    hierarchy_.fill_all_levels(line, Side::kData);
+    shadow_dcache_.release(di.shadow_dline);
+    di.shadow_dline = DynInst::kNoShadow;
+  }
+  for (int ref : di.walker_refs) {
+    const Addr line = shadow_dcache_.key(ref);
+    shadow_dcache_.mark_promoted(ref);
+    hierarchy_.fill_all_levels(line, Side::kData);
+    shadow_dcache_.release(ref);
+  }
+  di.walker_refs.clear();
+  if (di.shadow_iline != DynInst::kNoShadow) {
+    const Addr line = shadow_icache_.key(di.shadow_iline);
+    shadow_icache_.mark_promoted(di.shadow_iline);
+    hierarchy_.fill_all_levels(line, Side::kInstr);
+    shadow_icache_.release(di.shadow_iline);
+    di.shadow_iline = DynInst::kNoShadow;
+  }
+  if (di.shadow_dtlb != DynInst::kNoShadow) {
+    const auto& payload = shadow_dtlb_.payload_of(di.shadow_dtlb);
+    shadow_dtlb_.mark_promoted(di.shadow_dtlb);
+    dtlb_.fill({shadow_dtlb_.key(di.shadow_dtlb), payload.ppage,
+                payload.kernel_only});
+    shadow_dtlb_.release(di.shadow_dtlb);
+    di.shadow_dtlb = DynInst::kNoShadow;
+  }
+  if (di.shadow_itlb != DynInst::kNoShadow) {
+    const auto& payload = shadow_itlb_.payload_of(di.shadow_itlb);
+    shadow_itlb_.mark_promoted(di.shadow_itlb);
+    itlb_.fill({shadow_itlb_.key(di.shadow_itlb), payload.ppage,
+                payload.kernel_only});
+    shadow_itlb_.release(di.shadow_itlb);
+    di.shadow_itlb = DynInst::kNoShadow;
+  }
+}
+
+void Core::release_shadow(DynInst& di) {
+  if (di.shadow_dline != DynInst::kNoShadow || !di.walker_refs.empty()) {
+    LOG_DEBUG("release pc=0x" << std::hex << di.pc << std::dec << " @"
+                              << cycle_ << " dline=" << di.shadow_dline
+                              << " walkers=" << di.walker_refs.size());
+  }
+  if (di.shadow_dline != DynInst::kNoShadow) {
+    shadow_dcache_.release(di.shadow_dline);
+    di.shadow_dline = DynInst::kNoShadow;
+  }
+  for (int ref : di.walker_refs) shadow_dcache_.release(ref);
+  di.walker_refs.clear();
+  if (di.shadow_iline != DynInst::kNoShadow) {
+    shadow_icache_.release(di.shadow_iline);
+    di.shadow_iline = DynInst::kNoShadow;
+  }
+  if (di.shadow_dtlb != DynInst::kNoShadow) {
+    shadow_dtlb_.release(di.shadow_dtlb);
+    di.shadow_dtlb = DynInst::kNoShadow;
+  }
+  if (di.shadow_itlb != DynInst::kNoShadow) {
+    shadow_itlb_.release(di.shadow_itlb);
+    di.shadow_itlb = DynInst::kNoShadow;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Issue / execute.
+// --------------------------------------------------------------------------
+
+void Core::stage_issue() {
+  int issued = 0;
+  for (std::size_t i = 0; i < rob_.size() && issued < config_.issue_width;
+       ++i) {
+    DynInst& di = rob_[i];
+    if (di.state != InstState::kWaiting) continue;
+    if (!di.src1_ready || !di.src2_ready) continue;
+    // A fence executes only once it is the oldest instruction (its whole
+    // ordering purpose).
+    if (di.inst.op == OpClass::kFence && rob_.front().seq != di.seq) continue;
+    if (execute(di)) {
+      di.state = InstState::kIssued;
+      --iq_occupancy_;
+      ++issued;
+    }
+  }
+}
+
+bool Core::execute(DynInst& di) {
+  using isa::AluOp;
+  Cycle latency = config_.alu_latency;
+
+  switch (di.inst.op) {
+    case OpClass::kNop:
+    case OpClass::kFence:
+    case OpClass::kHalt:
+      break;
+    case OpClass::kAlu: {
+      const std::uint64_t b = di.inst.use_imm
+                                  ? static_cast<std::uint64_t>(di.inst.imm)
+                                  : di.src2_value;
+      di.result = isa::eval_alu(di.inst.alu, di.src1_value, b);
+      break;
+    }
+    case OpClass::kMul: {
+      const std::uint64_t b = di.inst.use_imm
+                                  ? static_cast<std::uint64_t>(di.inst.imm)
+                                  : di.src2_value;
+      di.result = isa::eval_alu(di.inst.alu, di.src1_value, b);
+      latency = config_.mul_latency;
+      break;
+    }
+    case OpClass::kDiv: {
+      const std::uint64_t b = di.inst.use_imm
+                                  ? static_cast<std::uint64_t>(di.inst.imm)
+                                  : di.src2_value;
+      di.result = isa::eval_alu(di.inst.alu, di.src1_value, b);
+      latency = config_.div_latency;
+      break;
+    }
+    case OpClass::kRdCycle:
+      di.result = cycle_;
+      break;
+    case OpClass::kBranch:
+    case OpClass::kJump:
+    case OpClass::kBranchIndirect:
+    case OpClass::kRet:
+      break;
+    case OpClass::kCall:
+      di.result = di.pc + isa::kInstrBytes;  // link value
+      break;
+    case OpClass::kLoad: {
+      di.effective_addr = di.src1_value + static_cast<std::uint64_t>(di.inst.imm);
+
+      // Memory ordering: scan older stores. Any older store with an
+      // unknown address blocks us (conservative disambiguation); the
+      // youngest older store to the same word forwards its data.
+      const Addr word = di.effective_addr >> 3;
+      const DynInst* forwarding_store = nullptr;
+      for (const DynInst& other : rob_) {
+        if (other.seq >= di.seq) break;
+        if (!other.is_store()) continue;
+        if (other.state == InstState::kWaiting) return false;  // addr unknown
+        if ((other.effective_addr >> 3) == word) forwarding_store = &other;
+      }
+      if (forwarding_store != nullptr) {
+        di.result = forwarding_store->src2_value;
+        di.store_forwarded = true;
+        latency = config_.alu_latency;  // forwarded from the store queue
+        break;
+      }
+
+      bool stall = false;
+      Cycle mem_latency = translate_data(di, stall);
+      if (stall) {
+        ++stats_.shadow_stall_cycles;
+        return false;
+      }
+      if (di.fault == Fault::kUnmapped) {
+        di.result = 0;
+        latency = config_.hierarchy.memory_latency;
+        break;
+      }
+      mem_latency += access_dcache(di, stall);
+      if (stall) {
+        // The cache access could not take a shadow entry (kStall): undo
+        // nothing (translate_data's shadow-TLB ref stays; retry reuses it
+        // via the acquire path) and retry next cycle.
+        ++stats_.shadow_stall_cycles;
+        return false;
+      }
+      // P1: the speculative load observes the real data even when the
+      // permission check failed — the check only bites at commit.
+      di.result = mem_->read64(di.physical_addr);
+      latency = mem_latency;
+      LOG_DEBUG("load pc=0x" << std::hex << di.pc << std::dec << " issue@"
+                             << cycle_ << " lat=" << latency << " addr=0x"
+                             << std::hex << di.effective_addr);
+      break;
+    }
+    case OpClass::kStore: {
+      di.effective_addr =
+          di.src1_value + static_cast<std::uint64_t>(di.inst.imm);
+      bool stall = false;
+      const Cycle translation = translate_data(di, stall);
+      if (stall) {
+        ++stats_.shadow_stall_cycles;
+        return false;
+      }
+      latency = config_.alu_latency + translation;
+      break;
+    }
+    case OpClass::kFlush: {
+      di.effective_addr =
+          di.src1_value + static_cast<std::uint64_t>(di.inst.imm);
+      bool stall = false;
+      const Cycle translation = translate_data(di, stall);
+      if (stall) {
+        ++stats_.shadow_stall_cycles;
+        return false;
+      }
+      latency = config_.alu_latency + translation;
+      break;
+    }
+  }
+
+  di.done_cycle = cycle_ + std::max<Cycle>(1, latency);
+  return true;
+}
+
+Cycle Core::translate_data(DynInst& di, bool& stall) {
+  if (di.translated || di.fault != Fault::kNone) return 0;  // retry path
+  const Addr vpage = page_of(di.effective_addr);
+
+  memory::TlbEntry entry;
+  bool have_translation = false;
+  Cycle latency = 0;
+
+  if (const auto hit = dtlb_.access(vpage); hit.has_value()) {
+    entry = *hit;
+    have_translation = true;
+  } else if (protection_on()) {
+    if (const auto id = shadow_dtlb_.acquire_existing(vpage);
+        id != shadow::ShadowTlb::kNone) {
+      const auto& payload = shadow_dtlb_.payload_of(id);
+      entry = {vpage, payload.ppage, payload.kernel_only};
+      have_translation = true;
+      latency += 1;  // shadow TLB lookup
+      if (di.shadow_dtlb == DynInst::kNoShadow) {
+        di.shadow_dtlb = id;
+      } else {
+        shadow_dtlb_.release(id);  // already hold a ref from a prior retry
+      }
+    }
+  }
+
+  if (!have_translation) {
+    latency += walk_page_table(&di, vpage);
+    const auto xlat = page_table_->translate(vpage);
+    if (!xlat.present) {
+      di.fault = Fault::kUnmapped;
+      return latency;
+    }
+    entry = {vpage, xlat.ppage, xlat.kernel_only};
+    if (protection_on()) {
+      const auto id = shadow_dtlb_.insert(vpage, {xlat.ppage,
+                                                  xlat.kernel_only});
+      if (id == shadow::ShadowTlb::kNone &&
+          shadow_dtlb_.config().full_policy == FullPolicy::kStall) {
+        stall = true;
+        return latency;
+      }
+      di.shadow_dtlb = id;  // kNone under kDrop: translation simply unshadowed
+    } else {
+      dtlb_.fill(entry);
+    }
+  }
+
+  di.physical_addr = (entry.ppage << kPageShift) + page_offset(di.effective_addr);
+  di.translated = true;
+  // Deferred permission check (P1): record the fault, keep executing.
+  if (entry.kernel_only && priv_ == memory::PrivLevel::kUser) {
+    di.fault = Fault::kPermission;
+  }
+  return latency;
+}
+
+Cycle Core::walk_page_table(DynInst* di, Addr vpage) {
+  Cycle latency = 0;
+  for (const Addr entry_addr : page_table_->walk_addresses(vpage)) {
+    if (!protection_on()) {
+      latency += hierarchy_
+                     .timed_access(entry_addr, Side::kData,
+                                   CacheHierarchy::Fill::kYes,
+                                   /*count_stats=*/false)
+                     .latency;
+      continue;
+    }
+    // SafeSpec: walker lines ride the d-cache shadow like any speculative
+    // load (§IV-A). Full table => drop (walks never stall the pipeline).
+    const Addr line = line_of(entry_addr);
+    if (const auto id = shadow_dcache_.acquire_existing(line, false);
+        id != shadow::ShadowCache::kNone) {
+      latency += config_.shadow_hit_latency;
+      if (di != nullptr) {
+        di->walker_refs.push_back(id);
+      } else {
+        shadow_dcache_.release(id);
+      }
+      continue;
+    }
+    const auto outcome = hierarchy_.timed_access(
+        entry_addr, Side::kData, CacheHierarchy::Fill::kNo,
+        /*count_stats=*/false);
+    latency += outcome.latency;
+    if (outcome.level != memory::HitLevel::kL1) {
+      const auto id = shadow_dcache_.insert(line, {});
+      if (id != shadow::ShadowCache::kNone) {
+        if (di != nullptr) {
+          di->walker_refs.push_back(id);
+        } else {
+          shadow_dcache_.release(id);
+        }
+      }
+    }
+  }
+  return latency;
+}
+
+Cycle Core::access_dcache(DynInst& di, bool& stall) {
+  const Addr paddr = di.physical_addr;
+  if (!protection_on()) {
+    return hierarchy_
+        .timed_access(paddr, Side::kData, CacheHierarchy::Fill::kYes)
+        .latency;
+  }
+  const Addr line = line_of(paddr);
+  if (di.shadow_dline != DynInst::kNoShadow) {
+    // Retry after a stall elsewhere: we already hold the line.
+    return config_.shadow_hit_latency;
+  }
+  // Primary-first lookup order, as in the design: the L1 is checked, then
+  // the shadow structure, then the lower levels — with no fills and no
+  // replacement-state updates anywhere on this speculative path.
+  if (hierarchy_.l1d().access(line, /*update_replacement=*/false)) {
+    return hierarchy_.l1d().config().hit_latency;
+  }
+  if (const auto id = shadow_dcache_.acquire_existing(line);
+      id != shadow::ShadowCache::kNone) {
+    di.shadow_dline = id;
+    return config_.shadow_hit_latency;
+  }
+  Cycle latency;
+  if (hierarchy_.l2().access(line, false)) {
+    latency = hierarchy_.l2().config().hit_latency;
+  } else if (hierarchy_.l3().access(line, false)) {
+    latency = hierarchy_.l3().config().hit_latency;
+  } else {
+    latency = config_.hierarchy.memory_latency;
+  }
+  const auto id = shadow_dcache_.insert(line, {});
+  if (id == shadow::ShadowCache::kNone) {
+    // Forward-progress guarantee for kStall: if this instruction's own
+    // page-walker lines are (part of) what fills the table, stalling
+    // would deadlock — it waits on entries only its own commit releases.
+    // Degrade to drop in that case.
+    if (shadow_dcache_.config().full_policy == FullPolicy::kStall &&
+        di.walker_refs.empty()) {
+      stall = true;
+      return 0;
+    }
+    // kDrop: the update to the committed state is lost (§V) — the load
+    // still gets its value, but nothing will be promoted at commit.
+    return latency;
+  }
+  di.shadow_dline = id;
+  return latency;
+}
+
+// --------------------------------------------------------------------------
+// Dispatch.
+// --------------------------------------------------------------------------
+
+void Core::bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
+                        SeqNum& producer) {
+  const SeqNum prod = rename_[reg];
+  if (prod == 0) {
+    value = regs_[reg];
+    ready = true;
+    return;
+  }
+  DynInst* p = find_by_seq(prod);
+  if (p != nullptr && p->state == InstState::kDone) {
+    value = p->result;
+    ready = true;
+    return;
+  }
+  ready = false;
+  producer = prod;
+}
+
+DynInst* Core::find_by_seq(SeqNum seq) {
+  for (DynInst& di : rob_) {
+    if (di.seq == seq) return &di;
+  }
+  return nullptr;
+}
+
+void Core::wake_dependents(const DynInst& producer) {
+  for (DynInst& di : rob_) {
+    if (di.seq <= producer.seq) continue;
+    if (!di.src1_ready && di.src1_producer == producer.seq) {
+      di.src1_value = producer.result;
+      di.src1_ready = true;
+    }
+    if (!di.src2_ready && di.src2_producer == producer.seq) {
+      di.src2_value = producer.result;
+      di.src2_ready = true;
+    }
+  }
+}
+
+void Core::stage_dispatch() {
+  for (int n = 0; n < config_.issue_width; ++n) {
+    if (fetch_queue_.empty()) return;
+    FetchedInst& fi = fetch_queue_.front();
+    if (fi.ready_at > cycle_) return;
+    if (fence_active_) return;
+    if (rob_full() || iq_occupancy_ >= config_.iq_entries) return;
+    if (fi.inst.op == OpClass::kLoad &&
+        loads_in_flight_ >= config_.ldq_entries) {
+      return;
+    }
+    if (fi.inst.op == OpClass::kStore &&
+        stores_in_flight_ >= config_.stq_entries) {
+      return;
+    }
+
+    DynInst di;
+    di.seq = next_seq_++;
+    di.pc = fi.pc;
+    di.inst = fi.inst;
+    di.predicted_taken = fi.predicted_taken;
+    di.predicted_next = fi.predicted_next;
+    di.target_known = fi.predicted_next != 0 || !fi.inst.is_branch();
+    di.shadow_iline = fi.shadow_iline;
+    di.shadow_itlb = fi.shadow_itlb;
+
+    // Operand binding. Which sources an op reads:
+    const bool reads_src1 =
+        fi.inst.op == OpClass::kAlu || fi.inst.op == OpClass::kMul ||
+        fi.inst.op == OpClass::kDiv || fi.inst.op == OpClass::kLoad ||
+        fi.inst.op == OpClass::kStore || fi.inst.op == OpClass::kBranch ||
+        fi.inst.op == OpClass::kBranchIndirect || fi.inst.op == OpClass::kRet ||
+        fi.inst.op == OpClass::kFlush;
+    const bool reads_src2 =
+        (fi.inst.op == OpClass::kAlu || fi.inst.op == OpClass::kMul ||
+         fi.inst.op == OpClass::kDiv) && !fi.inst.use_imm;
+    const bool reads_src2_always =
+        fi.inst.op == OpClass::kStore || fi.inst.op == OpClass::kBranch;
+
+    if (reads_src1) {
+      bind_operand(fi.inst.src1, di.src1_value, di.src1_ready,
+                   di.src1_producer);
+    }
+    if (reads_src2 || reads_src2_always) {
+      bind_operand(fi.inst.src2, di.src2_value, di.src2_ready,
+                   di.src2_producer);
+    }
+
+    if (di.inst.writes_register()) rename_[di.inst.dst] = di.seq;
+    if (di.inst.op == OpClass::kBranch ||
+        di.inst.op == OpClass::kBranchIndirect ||
+        di.inst.op == OpClass::kRet) {
+      unresolved_branches_.insert(di.seq);
+    }
+    if (di.is_load()) ++loads_in_flight_;
+    if (di.is_store()) ++stores_in_flight_;
+    if (di.inst.op == OpClass::kFence) fence_active_ = true;
+    ++iq_occupancy_;
+
+    rob_.push_back(std::move(di));
+    fetch_queue_.pop_front();
+  }
+}
+
+// --------------------------------------------------------------------------
+// Fetch.
+// --------------------------------------------------------------------------
+
+void Core::stage_fetch() {
+  if (halted_ || fetch_stalled_) return;
+  if (cycle_ < fetch_busy_until_) return;
+  if (static_cast<int>(fetch_queue_.size()) >= kFetchBufferCap) return;
+
+  Addr last_line_touched = ~Addr{0};
+
+  for (int n = 0; n < config_.fetch_width; ++n) {
+    const isa::Instruction* inst = program_->at(fetch_pc_);
+    if (inst == nullptr) {
+      // Speculated (or fell) into unmapped text: stall until redirected.
+      fetch_stalled_ = true;
+      break;
+    }
+
+    // ---- iTLB ----------------------------------------------------------
+    const Addr vpage = page_of(fetch_pc_);
+    Addr ppage = vpage;
+    bool have_xlat = false;
+    if (const auto hit = itlb_.access(vpage); hit.has_value()) {
+      ppage = hit->ppage;
+      have_xlat = true;
+    } else if (protection_on()) {
+      if (pending_itlb_ != DynInst::kNoShadow &&
+          shadow_itlb_.key(pending_itlb_) == vpage) {
+        // Resuming after the walk that created this entry.
+        ppage = shadow_itlb_.payload_of(pending_itlb_).ppage;
+        have_xlat = true;
+      } else if (const auto id = shadow_itlb_.acquire_existing(vpage);
+                 id != shadow::ShadowTlb::kNone) {
+        ppage = shadow_itlb_.payload_of(id).ppage;
+        have_xlat = true;
+        if (pending_itlb_ != DynInst::kNoShadow) {
+          shadow_itlb_.release(pending_itlb_);
+        }
+        pending_itlb_ = id;
+      }
+    }
+    if (!have_xlat) {
+      // i-side page walk. Walker lines use non-filling accesses (see
+      // header note); timing is charged as a fetch bubble.
+      const Cycle walk = walk_page_table(nullptr, vpage);
+      const auto xlat = page_table_->translate(vpage);
+      if (!xlat.present) {
+        fetch_stalled_ = true;
+        break;
+      }
+      ppage = xlat.ppage;
+      if (protection_on()) {
+        const auto id = shadow_itlb_.insert(vpage, {xlat.ppage,
+                                                    xlat.kernel_only});
+        if (id == shadow::ShadowTlb::kNone &&
+            shadow_itlb_.config().full_policy == FullPolicy::kStall) {
+          fetch_busy_until_ = cycle_ + 1;  // retry next cycle
+          break;
+        }
+        pending_itlb_ = id;
+      } else {
+        itlb_.fill({vpage, xlat.ppage, xlat.kernel_only});
+      }
+      fetch_busy_until_ = cycle_ + std::max<Cycle>(1, walk);
+      break;  // resume after the walk
+    }
+
+    // ---- i-cache ---------------------------------------------------------
+    const Addr fetch_paddr = (ppage << kPageShift) + page_offset(fetch_pc_);
+    const Addr line = line_of(fetch_paddr);
+    // Per-instruction accounting (Figs 14/15): every fetched instruction
+    // is served by exactly one of L1I, the shadow i-cache, or a lower
+    // level. Several instructions usually share one line — the spatial
+    // locality that makes the shadow i-cache's share of hits high while
+    // a line is still speculative.
+    ++stats_.fetch_accesses;
+    if (line != last_line_touched) {
+      last_line_touched = line;
+      if (!protection_on()) {
+        const auto outcome = hierarchy_.timed_access(
+            fetch_paddr, Side::kInstr, CacheHierarchy::Fill::kYes);
+        if (outcome.level != memory::HitLevel::kL1) {
+          ++stats_.fetch_misses;
+          fetch_busy_until_ = cycle_ + outcome.latency;
+          break;  // line now resident; resume after the miss
+        }
+        ++stats_.fetch_l1i_hits;
+      } else if (pending_iline_ != DynInst::kNoShadow &&
+                 shadow_icache_.key(pending_iline_) == line) {
+        // Resuming after the miss that inserted this line: already held.
+        ++stats_.fetch_shadow_hits;
+      } else if (hierarchy_.l1i().access(line, /*update_replacement=*/false)) {
+        ++stats_.fetch_l1i_hits;
+      } else {
+        if (const auto id = shadow_icache_.acquire_existing(line);
+            id != shadow::ShadowCache::kNone) {
+          if (pending_iline_ != DynInst::kNoShadow) {
+            shadow_icache_.release(pending_iline_);
+          }
+          pending_iline_ = id;  // shadow hit: no bubble (lookup-table read)
+          ++stats_.fetch_shadow_hits;
+        } else {
+          Cycle latency;
+          if (hierarchy_.l2().access(line, false)) {
+            latency = hierarchy_.l2().config().hit_latency;
+          } else if (hierarchy_.l3().access(line, false)) {
+            latency = hierarchy_.l3().config().hit_latency;
+          } else {
+            latency = config_.hierarchy.memory_latency;
+          }
+          const auto id2 = shadow_icache_.insert(line, {});
+          if (id2 == shadow::ShadowCache::kNone &&
+              shadow_icache_.config().full_policy == FullPolicy::kStall) {
+            --stats_.fetch_accesses;  // retried next cycle
+            fetch_busy_until_ = cycle_ + 1;
+            break;
+          }
+          ++stats_.fetch_misses;
+          pending_iline_ = id2;
+          fetch_busy_until_ = cycle_ + latency;
+          break;  // resume once the line is in the shadow i-cache
+        }
+      }
+    } else {
+      // Subsequent instruction from the same fetch line.
+      if (protection_on() && pending_iline_ != DynInst::kNoShadow &&
+          shadow_icache_.key(pending_iline_) == line) {
+        shadow_icache_.stats().hits.add();
+        ++stats_.fetch_shadow_hits;
+      } else if (protection_on() && pending_iline_ == DynInst::kNoShadow &&
+                 shadow_icache_.contains(line)) {
+        pending_iline_ = shadow_icache_.acquire_existing(line);  // counts hit
+        ++stats_.fetch_shadow_hits;
+      } else {
+        hierarchy_.l1i().access(line, /*update_replacement=*/!protection_on());
+        ++stats_.fetch_l1i_hits;
+      }
+    }
+
+    // ---- decode + predict -----------------------------------------------
+    FetchedInst fi;
+    fi.pc = fetch_pc_;
+    fi.inst = *inst;
+    fi.ready_at = cycle_ + static_cast<Cycle>(config_.fetch_to_dispatch_delay);
+    fi.shadow_iline = pending_iline_;
+    fi.shadow_itlb = pending_itlb_;
+    pending_iline_ = DynInst::kNoShadow;
+    pending_itlb_ = DynInst::kNoShadow;
+    ++stats_.fetched_instrs;
+
+    if (inst->op == OpClass::kHalt) {
+      fetch_queue_.push_back(fi);
+      fetch_stalled_ = true;  // nothing sensible follows a halt
+      break;
+    }
+    if (inst->is_branch()) {
+      const auto pred = predictor_.predict(fetch_pc_, *inst);
+      fi.predicted_taken = pred.taken;
+      if (!pred.target_known) {
+        fi.predicted_next = 0;  // no target: stall until resolution
+        fetch_queue_.push_back(fi);
+        fetch_stalled_ = true;
+        break;
+      }
+      fi.predicted_next =
+          pred.taken ? pred.target : fetch_pc_ + isa::kInstrBytes;
+      fetch_queue_.push_back(fi);
+      fetch_pc_ = fi.predicted_next;
+      if (pred.taken) break;  // taken-branch fetch break
+      continue;
+    }
+
+    fi.predicted_next = fetch_pc_ + isa::kInstrBytes;
+    fetch_queue_.push_back(fi);
+    fetch_pc_ += isa::kInstrBytes;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Phase control.
+// --------------------------------------------------------------------------
+
+void Core::restart_at(Addr pc) {
+  for (DynInst& di : rob_) release_shadow(di);
+  for (FetchedInst& fi : fetch_queue_) {
+    if (fi.shadow_iline != DynInst::kNoShadow) {
+      shadow_icache_.release(fi.shadow_iline);
+    }
+    if (fi.shadow_itlb != DynInst::kNoShadow) {
+      shadow_itlb_.release(fi.shadow_itlb);
+    }
+  }
+  rob_.clear();
+  fetch_queue_.clear();
+  release_pending_fetch_refs();
+  unresolved_branches_.clear();
+  std::fill(std::begin(rename_), std::end(rename_), SeqNum{0});
+  loads_in_flight_ = 0;
+  stores_in_flight_ = 0;
+  iq_occupancy_ = 0;
+  fence_active_ = false;
+  fetch_stalled_ = false;
+  fetch_busy_until_ = cycle_ + 1;
+  fetch_pc_ = pc;
+  halted_ = false;
+}
+
+}  // namespace safespec::cpu

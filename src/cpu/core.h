@@ -1,0 +1,284 @@
+// Cycle-level out-of-order core with optional SafeSpec protection.
+//
+// The pipeline models the structures from Table I (6-wide issue/commit,
+// 96-entry IQ, 224-entry ROB, 72/56-entry LDQ/STQ, 64-entry TLBs) over the
+// Table II memory hierarchy, with an execute-driven micro-ISA so that
+// speculative data flow — the substrate of every speculation attack — is
+// real. Three protection modes share one datapath:
+//
+//   * Baseline:  speculative memory accesses fill caches/TLBs directly
+//                (classic insecure behaviour; the paper's baseline).
+//   * WFB/WFC:   speculative fills land in shadow structures and are only
+//                promoted to the primary hierarchy once the producing
+//                instruction is past its last unresolved older branch
+//                (WFB) or commits (WFC). Squashes annul shadow state in
+//                place (§III, Fig 3).
+//
+// Timing-model simplifications (documented per DESIGN.md):
+//   * Memory side effects apply at issue time; there are therefore no
+//     delayed responses needing the §III "filter" — squash of an issued
+//     load simply releases its shadow reference.
+//   * Store data is written (and the line installed) at commit — the TSO
+//     behaviour the paper relies on to leave stores unshadowed (§IV-B).
+//   * The shadow lookup costs the same as an L1 hit (4 cycles), matching
+//     the paper's conservative assumption.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "cpu/dyn_inst.h"
+#include "isa/program.h"
+#include "memory/cache_hierarchy.h"
+#include "memory/main_memory.h"
+#include "memory/page_table.h"
+#include "memory/tlb.h"
+#include "predictor/predictor_unit.h"
+#include "safespec/shadow_structures.h"
+
+namespace safespec::cpu {
+
+/// Core pipeline configuration (Table I defaults).
+struct CoreConfig {
+  int fetch_width = 6;
+  int issue_width = 6;
+  int commit_width = 6;
+  int iq_entries = 96;
+  int rob_entries = 224;
+  int ldq_entries = 72;
+  int stq_entries = 56;
+  int fetch_to_dispatch_delay = 5;  ///< front-end depth (mispredict penalty)
+  /// Cycles between an instruction's completion (writeback) and its
+  /// earliest retirement. Real retirement logic is pipelined; this gap is
+  /// precisely the race window Meltdown exploits — dependent transmitting
+  /// uops issue while the faulting load awaits retirement (P1, §II-B4).
+  int commit_delay = 4;
+
+  Cycle alu_latency = 1;
+  Cycle mul_latency = 3;
+  Cycle div_latency = 20;
+  Cycle shadow_hit_latency = 4;  ///< conservative: same as an L1 hit
+
+  predictor::PredictorConfig predictor;
+  memory::HierarchyConfig hierarchy;
+  memory::TlbConfig itlb{.name = "iTLB", .entries = 64, .ways = 4};
+  memory::TlbConfig dtlb{.name = "dTLB", .entries = 64, .ways = 4};
+
+  // ---- SafeSpec --------------------------------------------------------
+  shadow::CommitPolicy policy = shadow::CommitPolicy::kBaseline;
+  /// Worst-case ("Secure") sizing by default: LDQ-bound for the d-side,
+  /// ROB-bound for the i-side (§V / §VII). Benchmarks shrink these to
+  /// study 99.99%-sizing and TSAs.
+  shadow::ShadowConfig shadow_dcache{.name = "shadow-dcache", .entries = 72};
+  shadow::ShadowConfig shadow_icache{.name = "shadow-icache", .entries = 224};
+  shadow::ShadowConfig shadow_dtlb{.name = "shadow-dtlb", .entries = 72};
+  shadow::ShadowConfig shadow_itlb{.name = "shadow-itlb", .entries = 224};
+};
+
+/// Why a run ended.
+enum class StopReason : std::uint8_t {
+  kHalted,        ///< committed a kHalt
+  kFaultNoHandler,///< unhandled fault committed
+  kMaxCycles,     ///< hit the cycle budget
+  kMaxInstrs,     ///< hit the instruction budget
+};
+
+/// Aggregate statistics of one run.
+struct CoreStats {
+  Cycle cycles = 0;
+  std::uint64_t committed_instrs = 0;
+  std::uint64_t committed_loads = 0;
+  std::uint64_t committed_stores = 0;
+  std::uint64_t committed_branches = 0;
+  std::uint64_t fetched_instrs = 0;
+  std::uint64_t squashed_instrs = 0;
+  std::uint64_t squashes = 0;
+  std::uint64_t mispredicts = 0;
+  std::uint64_t faults = 0;
+  std::uint64_t shadow_stall_cycles = 0;  ///< issue stalls from kStall
+
+  // Per-instruction fetch accounting (Figs 14/15): each fetched
+  // instruction is served by exactly one of L1I / shadow i-cache / below.
+  std::uint64_t fetch_accesses = 0;
+  std::uint64_t fetch_l1i_hits = 0;
+  std::uint64_t fetch_shadow_hits = 0;
+  std::uint64_t fetch_misses = 0;  ///< went to L2/L3/memory
+
+  double ipc() const {
+    return cycles == 0 ? 0.0
+                       : static_cast<double>(committed_instrs) / cycles;
+  }
+};
+
+/// The core. Owns all microarchitectural state; borrows the program,
+/// architectural memory and page table (which the attack harnesses also
+/// manipulate directly, playing the role of the OS / other processes).
+class Core {
+ public:
+  Core(const CoreConfig& config, const isa::Program* program,
+       memory::MainMemory* mem, memory::PageTable* page_table);
+
+  /// Runs until halt/fault/budget. Returns the stop reason.
+  StopReason run(Cycle max_cycles = 10'000'000,
+                 std::uint64_t max_instrs = ~0ULL);
+
+  /// Single-steps one cycle (tests drive this directly).
+  void step();
+
+  bool halted() const { return halted_; }
+  Cycle now() const { return cycle_; }
+
+  /// Architectural register read (post-run inspection by harnesses).
+  std::uint64_t reg(RegIndex r) const { return regs_[r]; }
+  void set_reg(RegIndex r, std::uint64_t v) {
+    if (r != kZeroReg) regs_[r] = v;
+  }
+
+  memory::PrivLevel priv_level() const { return priv_; }
+  void set_priv_level(memory::PrivLevel p) { priv_ = p; }
+
+  const CoreStats& stats() const { return stats_; }
+  CoreStats& stats() { return stats_; }
+
+  // ---- structures exposed for attacks / tests / benches ----------------
+  memory::CacheHierarchy& hierarchy() { return hierarchy_; }
+  const memory::CacheHierarchy& hierarchy() const { return hierarchy_; }
+  memory::Tlb& itlb() { return itlb_; }
+  memory::Tlb& dtlb() { return dtlb_; }
+  predictor::PredictorUnit& predictor() { return predictor_; }
+  shadow::ShadowCache& shadow_dcache() { return shadow_dcache_; }
+  shadow::ShadowCache& shadow_icache() { return shadow_icache_; }
+  shadow::ShadowTlb& shadow_dtlb() { return shadow_dtlb_; }
+  shadow::ShadowTlb& shadow_itlb() { return shadow_itlb_; }
+  const shadow::ShadowCache& shadow_dcache() const { return shadow_dcache_; }
+  const shadow::ShadowCache& shadow_icache() const { return shadow_icache_; }
+  const shadow::ShadowTlb& shadow_dtlb() const { return shadow_dtlb_; }
+  const shadow::ShadowTlb& shadow_itlb() const { return shadow_itlb_; }
+
+  const CoreConfig& config() const { return config_; }
+
+  /// Restarts control flow at `pc` with empty pipeline (between attack
+  /// phases). Microarchitectural state (caches, predictors, shadows) is
+  /// deliberately preserved — that persistence is what attacks exploit.
+  void restart_at(Addr pc);
+
+ private:
+  struct FetchedInst {
+    Addr pc = 0;
+    isa::Instruction inst;
+    bool predicted_taken = false;
+    Addr predicted_next = 0;
+    Cycle ready_at = 0;
+    int shadow_iline = DynInst::kNoShadow;
+    int shadow_itlb = DynInst::kNoShadow;
+  };
+
+  // ---- pipeline stages (called newest-to-oldest each cycle) -----------
+  void stage_commit();
+  void stage_complete();
+  void stage_issue();
+  void stage_dispatch();
+  void stage_fetch();
+
+  // ---- helpers ---------------------------------------------------------
+  bool rob_full() const {
+    return static_cast<int>(rob_.size()) >= config_.rob_entries;
+  }
+  DynInst* find_by_seq(SeqNum seq);
+  void wake_dependents(const DynInst& producer);
+  bool older_unresolved_branch_exists(SeqNum seq) const;
+
+  /// Issues one instruction (computes result / performs memory access
+  /// side effects). Returns false when the instruction cannot issue this
+  /// cycle (memory ordering or shadow-stall) and must retry.
+  bool execute(DynInst& di);
+
+  /// Load/store address translation through dTLB (+walk). Returns the
+  /// added latency; sets di.physical_addr / di.fault / shadow_dtlb.
+  /// `stall` is set when the shadow dTLB is full under kStall.
+  Cycle translate_data(DynInst& di, bool& stall);
+
+  /// Page-walk timing: kWalkLevels accesses through the d-side hierarchy.
+  /// Speculative walks under SafeSpec use non-filling accesses whose
+  /// lines land in the shadow d-cache *unreferenced by any instruction* —
+  /// conservatively freed on squash via the walker ref held by `di`.
+  Cycle walk_page_table(DynInst* di, Addr vpage);
+
+  /// The d-side cache access for an issued load. Returns latency.
+  /// `stall` set when the shadow d-cache is full under kStall.
+  Cycle access_dcache(DynInst& di, bool& stall);
+
+  /// Promotes every shadow entry the instruction references into the
+  /// primary structures (commit or WFB-resolution path).
+  void promote_shadow(DynInst& di);
+  /// Releases shadow references without promotion (squash path).
+  void release_shadow(DynInst& di);
+
+  void resolve_branch(DynInst& di);
+  void release_pending_fetch_refs();
+  void squash_younger_than(SeqNum seq, Addr redirect_pc);
+  void rebuild_rename_map();
+  void raise_fault(DynInst& head);
+  void commit_one(DynInst& head);
+
+  /// Reads an operand at dispatch: value or producer seq.
+  void bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
+                    SeqNum& producer);
+
+  bool protection_on() const {
+    return config_.policy != shadow::CommitPolicy::kBaseline;
+  }
+
+  // ---- configuration / substrate ---------------------------------------
+  CoreConfig config_;
+  const isa::Program* program_;
+  memory::MainMemory* mem_;
+  memory::PageTable* page_table_;
+
+  // ---- microarchitectural structures ------------------------------------
+  memory::CacheHierarchy hierarchy_;
+  memory::Tlb itlb_;
+  memory::Tlb dtlb_;
+  predictor::PredictorUnit predictor_;
+  shadow::ShadowCache shadow_dcache_;
+  shadow::ShadowCache shadow_icache_;
+  shadow::ShadowTlb shadow_dtlb_;
+  shadow::ShadowTlb shadow_itlb_;
+
+  // ---- architectural state ----------------------------------------------
+  std::uint64_t regs_[kNumArchRegs] = {};
+  memory::PrivLevel priv_ = memory::PrivLevel::kUser;
+
+  // ---- pipeline state -----------------------------------------------------
+  Cycle cycle_ = 0;
+  SeqNum next_seq_ = 1;
+  std::deque<DynInst> rob_;
+  std::deque<FetchedInst> fetch_queue_;
+  std::set<SeqNum> unresolved_branches_;
+
+  // Rename: arch reg -> producing seq (0 = value lives in regs_).
+  SeqNum rename_[kNumArchRegs] = {};
+
+  Addr fetch_pc_ = 0;
+  bool fetch_stalled_ = false;      ///< barrier (halt / unknown target)
+  Cycle fetch_busy_until_ = 0;      ///< i-cache/iTLB miss in progress
+  /// Shadow references acquired by an in-progress fetch (miss pending);
+  /// handed to the next FetchedInst, or released on squash/restart.
+  int pending_iline_ = -1;
+  int pending_itlb_ = -1;
+  int loads_in_flight_ = 0;         ///< LDQ occupancy
+  int stores_in_flight_ = 0;        ///< STQ occupancy
+  int iq_occupancy_ = 0;            ///< dispatched but not yet issued
+  bool fence_active_ = false;       ///< a kFence is in the ROB
+  bool halted_ = false;
+  StopReason stop_reason_ = StopReason::kMaxCycles;
+
+  CoreStats stats_;
+};
+
+}  // namespace safespec::cpu

@@ -1,0 +1,87 @@
+// Dynamic (in-flight) instruction record — one per ROB entry.
+//
+// Carries everything the paper's design attaches to pipeline entries: the
+// usual OoO bookkeeping (operands, result, completion time) plus the
+// SafeSpec shadow pointers — the paper augments the load/store queue with
+// a pointer to the shadow d-cache line and the ROB with pointers to the
+// shadow i-cache / TLB entries (§IV-A/B). Here all four live on the
+// DynInst, whose position in the ROB plays both roles.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "safespec/shadow_structures.h"
+
+namespace safespec::cpu {
+
+/// Why an instruction will raise an exception at commit.
+enum class Fault : std::uint8_t {
+  kNone,
+  kPermission,  ///< user access to a kernel page (deferred — P1)
+  kUnmapped,    ///< access to an unmapped page
+  kBadFetch,    ///< committed control flow reached a pc with no instruction
+};
+
+/// Execution status of a DynInst.
+enum class InstState : std::uint8_t {
+  kWaiting,    ///< in the issue queue, operands not all ready
+  kIssued,     ///< executing; completes at done_cycle
+  kDone,       ///< result available; waiting to commit
+};
+
+/// One in-flight instruction.
+struct DynInst {
+  SeqNum seq = 0;
+  Addr pc = 0;
+  isa::Instruction inst;
+
+  InstState state = InstState::kWaiting;
+  Cycle done_cycle = 0;
+
+  // ---- operands / result ---------------------------------------------
+  // Each source is either a value (ready) or a pending producer seq.
+  std::uint64_t src1_value = 0;
+  std::uint64_t src2_value = 0;
+  bool src1_ready = true;
+  bool src2_ready = true;
+  SeqNum src1_producer = 0;
+  SeqNum src2_producer = 0;
+  std::uint64_t result = 0;
+
+  // ---- memory ----------------------------------------------------------
+  Addr effective_addr = 0;   ///< virtual address (valid once issued)
+  Addr physical_addr = 0;    ///< after translation
+  bool translated = false;
+  Fault fault = Fault::kNone;
+  bool store_forwarded = false;  ///< load satisfied from the store queue
+
+  // ---- control flow ----------------------------------------------------
+  bool predicted_taken = false;
+  Addr predicted_next = 0;
+  bool target_known = true;  ///< false: BTB missed; fetch stalled on us
+  bool branch_resolved = false;
+  bool actual_taken = false;
+  Addr actual_next = 0;
+  bool mispredicted = false;
+
+  // ---- SafeSpec shadow pointers (§IV-A) --------------------------------
+  static constexpr int kNoShadow = -1;
+  int shadow_dline = kNoShadow;   ///< shadow d-cache entry (loads)
+  int shadow_iline = kNoShadow;   ///< shadow i-cache entry (fetch)
+  int shadow_dtlb = kNoShadow;    ///< shadow dTLB entry
+  int shadow_itlb = kNoShadow;    ///< shadow iTLB entry
+  /// Shadow d-cache entries for page-walker lines (the walker issues its
+  /// accesses through the load/store path, §IV-A, so its side effects are
+  /// shadowed like any other speculative load).
+  std::vector<int> walker_refs;
+  bool shadow_promoted = false;   ///< WFB: promotion already performed
+
+  bool is_load() const { return inst.op == isa::OpClass::kLoad; }
+  bool is_store() const { return inst.op == isa::OpClass::kStore; }
+  bool is_branch() const { return inst.is_branch(); }
+};
+
+}  // namespace safespec::cpu

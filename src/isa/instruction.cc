@@ -1,0 +1,98 @@
+#include "isa/instruction.h"
+
+#include <sstream>
+
+namespace safespec::isa {
+
+std::uint64_t eval_alu(AluOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case AluOp::kAdd:
+      return a + b;
+    case AluOp::kSub:
+      return a - b;
+    case AluOp::kAnd:
+      return a & b;
+    case AluOp::kOr:
+      return a | b;
+    case AluOp::kXor:
+      return a ^ b;
+    case AluOp::kShl:
+      return a << (b & 63);
+    case AluOp::kShr:
+      return a >> (b & 63);
+    case AluOp::kMul:
+      return a * b;
+    case AluOp::kDiv:
+      return b == 0 ? ~0ULL : a / b;
+    case AluOp::kMovImm:
+      return b;
+  }
+  return 0;
+}
+
+bool eval_cond(CondOp op, std::uint64_t a, std::uint64_t b) {
+  switch (op) {
+    case CondOp::kEq:
+      return a == b;
+    case CondOp::kNe:
+      return a != b;
+    case CondOp::kLt:
+      return static_cast<std::int64_t>(a) < static_cast<std::int64_t>(b);
+    case CondOp::kGe:
+      return static_cast<std::int64_t>(a) >= static_cast<std::int64_t>(b);
+    case CondOp::kLtu:
+      return a < b;
+    case CondOp::kGeu:
+      return a >= b;
+  }
+  return false;
+}
+
+namespace {
+const char* op_name(OpClass op) {
+  switch (op) {
+    case OpClass::kNop:
+      return "nop";
+    case OpClass::kAlu:
+      return "alu";
+    case OpClass::kMul:
+      return "mul";
+    case OpClass::kDiv:
+      return "div";
+    case OpClass::kLoad:
+      return "load";
+    case OpClass::kStore:
+      return "store";
+    case OpClass::kBranch:
+      return "br";
+    case OpClass::kJump:
+      return "jmp";
+    case OpClass::kBranchIndirect:
+      return "br.ind";
+    case OpClass::kCall:
+      return "call";
+    case OpClass::kRet:
+      return "ret";
+    case OpClass::kFlush:
+      return "clflush";
+    case OpClass::kFence:
+      return "fence";
+    case OpClass::kRdCycle:
+      return "rdcycle";
+    case OpClass::kHalt:
+      return "halt";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string to_string(const Instruction& inst) {
+  std::ostringstream oss;
+  oss << op_name(inst.op) << " d=r" << static_cast<int>(inst.dst) << " s1=r"
+      << static_cast<int>(inst.src1) << " s2=r" << static_cast<int>(inst.src2)
+      << " imm=" << inst.imm;
+  if (inst.is_branch()) oss << " tgt=0x" << std::hex << inst.target;
+  return oss.str();
+}
+
+}  // namespace safespec::isa

@@ -1,0 +1,96 @@
+#include "memory/cache.h"
+
+#include <stdexcept>
+
+namespace safespec::memory {
+
+Cache::Cache(const CacheConfig& config)
+    : config_(config), num_sets_(config.num_sets()) {
+  if (num_sets_ <= 0 || config_.ways <= 0) {
+    throw std::invalid_argument("Cache: size/ways/line geometry invalid");
+  }
+  if (config_.size_bytes % (static_cast<std::uint64_t>(config_.ways) *
+                            config_.line_bytes) !=
+      0) {
+    throw std::invalid_argument("Cache: size not divisible by way size");
+  }
+  ways_.resize(static_cast<std::size_t>(num_sets_) * config_.ways);
+  repl_.reserve(num_sets_);
+  for (int s = 0; s < num_sets_; ++s) {
+    repl_.emplace_back(config_.policy, config_.ways,
+                       config_.seed + static_cast<std::uint64_t>(s));
+  }
+}
+
+int Cache::find_way(int set, Addr line) const {
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+  for (int w = 0; w < config_.ways; ++w) {
+    const Way& way = ways_[base + w];
+    if (way.valid && way.tag == line) return w;
+  }
+  return -1;
+}
+
+bool Cache::access(Addr line, bool update_replacement, bool count_stats) {
+  ++tick_;
+  const int set = set_of(line);
+  const int way = find_way(set, line);
+  if (way >= 0) {
+    if (update_replacement) repl_[set].touch(way, tick_);
+    if (count_stats) stats_.hits.add();
+    return true;
+  }
+  if (count_stats) stats_.misses.add();
+  return false;
+}
+
+bool Cache::probe(Addr line) const { return find_way(set_of(line), line) >= 0; }
+
+std::optional<Addr> Cache::fill(Addr line) {
+  ++tick_;
+  const int set = set_of(line);
+  const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
+
+  // Already present: refresh recency, no eviction.
+  if (const int existing = find_way(set, line); existing >= 0) {
+    repl_[set].fill(existing, tick_);
+    return std::nullopt;
+  }
+  // Free way available.
+  for (int w = 0; w < config_.ways; ++w) {
+    Way& way = ways_[base + w];
+    if (!way.valid) {
+      way.valid = true;
+      way.tag = line;
+      repl_[set].fill(w, tick_);
+      return std::nullopt;
+    }
+  }
+  // Evict.
+  const int victim = repl_[set].victim(tick_);
+  Way& way = ways_[base + victim];
+  const Addr evicted = way.tag;
+  way.tag = line;
+  repl_[set].fill(victim, tick_);
+  return evicted;
+}
+
+bool Cache::invalidate(Addr line) {
+  const int set = set_of(line);
+  const int way = find_way(set, line);
+  if (way < 0) return false;
+  ways_[static_cast<std::size_t>(set) * config_.ways + way].valid = false;
+  return true;
+}
+
+void Cache::flush_all() {
+  for (Way& way : ways_) way.valid = false;
+}
+
+std::size_t Cache::occupancy() const {
+  std::size_t n = 0;
+  for (const Way& way : ways_) n += way.valid ? 1 : 0;
+  return n;
+}
+
+}  // namespace safespec::memory

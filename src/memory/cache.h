@@ -1,0 +1,100 @@
+// Set-associative cache tag array with pluggable replacement.
+//
+// The simulator models tags only — data values live in MainMemory (the
+// architectural store) because timing, not payload, is what caches decide.
+// That is also exactly the granularity at which the Spectre/Meltdown covert
+// channel operates: presence or absence of a line.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "memory/replacement.h"
+
+namespace safespec::memory {
+
+/// Geometry + behaviour knobs for one cache level.
+struct CacheConfig {
+  std::string name = "cache";
+  std::uint64_t size_bytes = 32 * 1024;
+  int ways = 8;
+  int line_bytes = 64;
+  Cycle hit_latency = 4;
+  ReplPolicy policy = ReplPolicy::kLru;
+  std::uint64_t seed = 1;  ///< for kRandom replacement
+
+  int num_sets() const {
+    return static_cast<int>(size_bytes / (static_cast<std::uint64_t>(ways) *
+                                          line_bytes));
+  }
+};
+
+/// One level of cache. Addresses passed in are *line* numbers (byte
+/// address >> line shift) — the hierarchy does the conversion once.
+class Cache {
+ public:
+  explicit Cache(const CacheConfig& config);
+
+  /// Looks a line up and records hit/miss stats. Returns hit.
+  ///
+  /// `update_replacement=false` is the SafeSpec speculative path: not even
+  /// the replacement state may observe a speculative access (§IV-A notes
+  /// that the cache replacement algorithm state must stay unaffected by
+  /// speculative data that does not commit).
+  ///
+  /// `count_stats=false` excludes the access from hit/miss statistics —
+  /// used for page-walker traffic so that the reported "read miss rate"
+  /// counts program accesses identically under every protection mode.
+  bool access(Addr line, bool update_replacement = true,
+              bool count_stats = true);
+
+  /// Lookup with no side effects (no LRU update, no stats). The attack
+  /// receivers use the *timed* path instead; probe() is for tests.
+  bool probe(Addr line) const;
+
+  /// Inserts a line, evicting if needed. Returns the evicted line (for
+  /// inclusive back-invalidation) or nullopt if a free/duplicate way was
+  /// used. Filling a line already present just refreshes it.
+  std::optional<Addr> fill(Addr line);
+
+  /// Removes a line if present (clflush / back-invalidate). Returns
+  /// whether it was present.
+  bool invalidate(Addr line);
+
+  /// Drops every line (used between attack trials).
+  void flush_all();
+
+  const CacheConfig& config() const { return config_; }
+  HitMiss& stats() { return stats_; }
+  const HitMiss& stats() const { return stats_; }
+
+  /// Number of valid lines currently resident (tests / occupancy checks).
+  std::size_t occupancy() const;
+
+  /// Set index a line maps to (exposed for eviction-set construction in
+  /// the Prime+Probe receiver and tests).
+  int set_of(Addr line) const {
+    return static_cast<int>(line % static_cast<Addr>(num_sets_));
+  }
+
+ private:
+  struct Way {
+    Addr tag = 0;
+    bool valid = false;
+  };
+
+  int find_way(int set, Addr line) const;
+
+  CacheConfig config_;
+  int num_sets_;
+  std::vector<Way> ways_;                       // num_sets_ * config_.ways
+  std::vector<ReplacementState> repl_;          // one per set
+  std::uint64_t tick_ = 0;
+  HitMiss stats_;
+};
+
+}  // namespace safespec::memory

@@ -1,0 +1,71 @@
+#include "memory/cache_hierarchy.h"
+
+namespace safespec::memory {
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config)
+    : config_(config),
+      l1i_(config.l1i),
+      l1d_(config.l1d),
+      l2_(config.l2),
+      l3_(config.l3) {}
+
+AccessOutcome CacheHierarchy::timed_access(Addr paddr, Side side, Fill fill,
+                                           bool count_stats) {
+  const Addr line = line_of(paddr);
+  Cache& l1 = l1_for(side);
+  // Fill::kNo is the speculative path: leakage-freedom forbids even
+  // replacement-recency updates (§IV-A).
+  const bool touch = fill == Fill::kYes;
+
+  if (l1.access(line, touch, count_stats)) {
+    return {l1.config().hit_latency, HitLevel::kL1};
+  }
+  if (l2_.access(line, touch, count_stats)) {
+    if (fill == Fill::kYes) l1.fill(line);
+    return {l2_.config().hit_latency, HitLevel::kL2};
+  }
+  if (l3_.access(line, touch, count_stats)) {
+    if (fill == Fill::kYes) {
+      l2_.fill(line);
+      l1.fill(line);
+    }
+    return {l3_.config().hit_latency, HitLevel::kL3};
+  }
+  if (fill == Fill::kYes) fill_all_levels(line, side);
+  return {config_.memory_latency, HitLevel::kMemory};
+}
+
+void CacheHierarchy::fill_all_levels(Addr line, Side side) {
+  // Inclusive hierarchy: insert bottom-up; an L3/L2 eviction
+  // back-invalidates the levels above it.
+  if (const auto evicted = l3_.fill(line); evicted.has_value()) {
+    l2_.invalidate(*evicted);
+    l1i_.invalidate(*evicted);
+    l1d_.invalidate(*evicted);
+  }
+  if (const auto evicted = l2_.fill(line); evicted.has_value()) {
+    l1i_.invalidate(*evicted);
+    l1d_.invalidate(*evicted);
+  }
+  l1_for(side).fill(line);
+}
+
+void CacheHierarchy::flush_line(Addr line) {
+  l1i_.invalidate(line);
+  l1d_.invalidate(line);
+  l2_.invalidate(line);
+  l3_.invalidate(line);
+}
+
+void CacheHierarchy::flush_all() {
+  l1i_.flush_all();
+  l1d_.flush_all();
+  l2_.flush_all();
+  l3_.flush_all();
+}
+
+bool CacheHierarchy::resident_l1(Addr line, Side side) const {
+  return (side == Side::kInstr ? l1i_ : l1d_).probe(line);
+}
+
+}  // namespace safespec::memory

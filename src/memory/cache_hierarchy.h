@@ -1,0 +1,103 @@
+// Three-level inclusive cache hierarchy with the Table II latency model.
+//
+// Two access styles exist deliberately:
+//   * timed_access(..., Fill::kYes)  — classic behaviour: a miss allocates
+//     into every level on the way in (inclusive). This is the *baseline*
+//     (insecure) datapath, and also the commit-time promotion path.
+//   * timed_access(..., Fill::kNo)   — lookup + latency only, no state
+//     change below the hit level. SafeSpec uses this for speculative
+//     accesses: the line's residence is provided by the shadow structure
+//     instead, so the primary hierarchy stays untouched (§III, §IV-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+#include "memory/cache.h"
+
+namespace safespec::memory {
+
+/// Which structure ultimately supplied the data.
+enum class HitLevel : std::uint8_t { kL1, kL2, kL3, kMemory };
+
+/// Configuration of the whole hierarchy (Table II defaults are in
+/// sim/sim_config.h).
+struct HierarchyConfig {
+  CacheConfig l1i{.name = "L1I", .size_bytes = 32 * 1024, .ways = 8,
+                  .line_bytes = 64, .hit_latency = 4};
+  CacheConfig l1d{.name = "L1D", .size_bytes = 32 * 1024, .ways = 8,
+                  .line_bytes = 64, .hit_latency = 4};
+  CacheConfig l2{.name = "L2", .size_bytes = 256 * 1024, .ways = 4,
+                 .line_bytes = 64, .hit_latency = 12};
+  CacheConfig l3{.name = "L3", .size_bytes = 2 * 1024 * 1024, .ways = 16,
+                 .line_bytes = 64, .hit_latency = 44};
+  Cycle memory_latency = 191;
+};
+
+/// Instruction- vs data-side L1 selection.
+enum class Side : std::uint8_t { kInstr, kData };
+
+struct AccessOutcome {
+  Cycle latency = 0;
+  HitLevel level = HitLevel::kMemory;
+  bool l1_hit() const { return level == HitLevel::kL1; }
+};
+
+/// Owns the four cache tag arrays and implements lookup / fill /
+/// invalidate across them with inclusive semantics (an L3 eviction
+/// back-invalidates L2 and both L1s).
+class CacheHierarchy {
+ public:
+  explicit CacheHierarchy(const HierarchyConfig& config);
+
+  enum class Fill : std::uint8_t { kNo, kYes };
+
+  /// Performs a timed lookup of the line containing byte address `paddr`
+  /// on `side`. With Fill::kYes, misses allocate into all levels from the
+  /// hit level up (inclusive fill). With Fill::kNo the hierarchy is left
+  /// exactly as found apart from replacement-recency updates at the hit
+  /// level. `count_stats=false` keeps the lookup out of hit/miss
+  /// statistics (page-walker traffic).
+  AccessOutcome timed_access(Addr paddr, Side side, Fill fill,
+                             bool count_stats = true);
+
+  /// Commits a line into the hierarchy at every level (inclusive), as
+  /// when a SafeSpec shadow entry is promoted on instruction commit. The
+  /// `side` chooses which L1 the line lands in.
+  void fill_all_levels(Addr line, Side side);
+
+  /// clflush: removes the line from every level.
+  void flush_line(Addr line);
+
+  /// Empties every cache (between attack trials).
+  void flush_all();
+
+  /// True when the line is resident in the L1 of `side` (tests and the
+  /// timing-free assertions in the attack harness).
+  bool resident_l1(Addr line, Side side) const;
+  bool resident_l2(Addr line) const { return l2_.probe(line); }
+  bool resident_l3(Addr line) const { return l3_.probe(line); }
+
+  Cache& l1i() { return l1i_; }
+  Cache& l1d() { return l1d_; }
+  Cache& l2() { return l2_; }
+  Cache& l3() { return l3_; }
+  const Cache& l1i() const { return l1i_; }
+  const Cache& l1d() const { return l1d_; }
+  const Cache& l2() const { return l2_; }
+  const Cache& l3() const { return l3_; }
+
+  const HierarchyConfig& config() const { return config_; }
+
+ private:
+  Cache& l1_for(Side side) { return side == Side::kInstr ? l1i_ : l1d_; }
+
+  HierarchyConfig config_;
+  Cache l1i_;
+  Cache l1d_;
+  Cache l2_;
+  Cache l3_;
+};
+
+}  // namespace safespec::memory

@@ -1,0 +1,29 @@
+#include "memory/main_memory.h"
+
+namespace safespec::memory {
+
+void MainMemory::map_page(Addr page, PagePerm perm) { perms_[page] = perm; }
+
+std::optional<PagePerm> MainMemory::page_perm(Addr page) const {
+  auto it = perms_.find(page);
+  if (it == perms_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool MainMemory::access_ok(Addr page, PrivLevel level) const {
+  const auto perm = page_perm(page);
+  if (!perm.has_value()) return false;
+  if (*perm == PagePerm::kKernel && level == PrivLevel::kUser) return false;
+  return true;
+}
+
+std::uint64_t MainMemory::read64(Addr addr) const {
+  auto it = words_.find(word_of(addr));
+  return it == words_.end() ? 0 : it->second;
+}
+
+void MainMemory::write64(Addr addr, std::uint64_t value) {
+  words_[word_of(addr)] = value;
+}
+
+}  // namespace safespec::memory

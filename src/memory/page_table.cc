@@ -1,0 +1,51 @@
+#include "memory/page_table.h"
+
+namespace safespec::memory {
+
+void PageTable::map(Addr vpage, Addr ppage, bool kernel_only) {
+  table_[vpage] = Translation{ppage, kernel_only, /*present=*/true};
+}
+
+Translation PageTable::translate(Addr vpage) const {
+  auto it = table_.find(vpage);
+  if (it == table_.end()) return Translation{};
+  return it->second;
+}
+
+namespace {
+// splitmix64 finalizer: scatters synthetic page-table pages across the
+// reserved region the way real table pages scatter across physical
+// memory (a naive power-of-two layout would alias every walk line into
+// one cache set, which both wrecks timing and is unphysical).
+Addr mix(Addr x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::vector<Addr> PageTable::walk_addresses(Addr vpage) const {
+  // x86-64-style radix walk: level L's table is selected by the vpage
+  // bits above level L (so all pages share the root table, nearby pages
+  // share lower tables — real walker locality), and the entry within the
+  // table by the next 9 bits. Table pages live in a reserved "page-table
+  // heap" region disjoint from workload data.
+  constexpr Addr kPageTableBase = 0xFFFF'0000'0000ULL;
+  constexpr Addr kHeapPages = 1ULL << 20;
+  std::vector<Addr> lines;
+  lines.reserve(kWalkLevels);
+  for (int level = 0; level < kWalkLevels; ++level) {
+    const int shift = 9 * (kWalkLevels - level);
+    const Addr table_path = shift >= 64 ? 0 : (vpage >> shift);
+    const Addr index = (vpage >> (9 * (kWalkLevels - 1 - level))) & 0x1FF;
+    const Addr table_page =
+        mix(table_path * kWalkLevels + static_cast<Addr>(level)) % kHeapPages;
+    const Addr entry_addr =
+        kPageTableBase + table_page * kPageSize + index * 8;
+    lines.push_back(entry_addr);
+  }
+  return lines;
+}
+
+}  // namespace safespec::memory

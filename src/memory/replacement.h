@@ -1,0 +1,59 @@
+// Replacement-policy strategy for set-associative structures (caches and
+// TLBs). Kept as a tiny per-set state machine so the cache stays a plain
+// array of ways; policies are selected by enum rather than virtual
+// dispatch — the simulator calls these on every access.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace safespec::memory {
+
+enum class ReplPolicy : std::uint8_t {
+  kLru,     ///< least-recently-used (default; what the paper's model uses)
+  kFifo,    ///< insertion-order eviction
+  kRandom,  ///< uniform random victim (deterministic via seeded Rng)
+};
+
+/// Per-set replacement metadata: one 64-bit stamp per way. For LRU the
+/// stamp is last-touch time, for FIFO it is fill time, for Random it is
+/// unused. The owner supplies a monotonically increasing `tick`.
+class ReplacementState {
+ public:
+  ReplacementState(ReplPolicy policy, int num_ways, std::uint64_t seed)
+      : policy_(policy), stamps_(num_ways, 0), rng_(seed) {}
+
+  /// Notes that `way` was touched (hit) at time `tick`.
+  void touch(int way, std::uint64_t tick) {
+    if (policy_ == ReplPolicy::kLru) stamps_[way] = tick;
+  }
+
+  /// Notes that `way` was (re)filled at time `tick`.
+  void fill(int way, std::uint64_t tick) { stamps_[way] = tick; }
+
+  /// Chooses a victim way among `valid_ways` (bitmask of occupied ways;
+  /// the caller prefers invalid ways itself). All ways occupied here.
+  int victim(std::uint64_t /*tick*/) {
+    if (policy_ == ReplPolicy::kRandom) {
+      return static_cast<int>(rng_.below(stamps_.size()));
+    }
+    // LRU and FIFO both evict the smallest stamp.
+    int best = 0;
+    for (int w = 1; w < static_cast<int>(stamps_.size()); ++w) {
+      if (stamps_[w] < stamps_[best]) best = w;
+    }
+    return best;
+  }
+
+  ReplPolicy policy() const { return policy_; }
+
+ private:
+  ReplPolicy policy_;
+  std::vector<std::uint64_t> stamps_;
+  Rng rng_;
+};
+
+}  // namespace safespec::memory

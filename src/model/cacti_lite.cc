@@ -1,0 +1,125 @@
+#include "model/cacti_lite.h"
+
+#include <cmath>
+
+namespace safespec::model {
+
+namespace {
+
+// Technology-scaled cell sizes (conventional planning numbers): a 6T SRAM
+// bit cell occupies ~146 F^2, a CAM match cell ~2.4x that. Peripheral
+// overhead (decoders, sense amps, comparators) is folded into a
+// multiplicative factor that grows for multi-ported and fully
+// associative arrays.
+constexpr double kSramCellF2 = 146.0;
+constexpr double kCamCellF2 = 350.0;
+
+double f2_to_mm2(double f2, int tech_nm) {
+  const double f_mm = tech_nm * 1e-6;  // nm -> mm
+  return f2 * f_mm * f_mm;
+}
+
+}  // namespace
+
+SramEstimate estimate(const SramParams& p) {
+  SramEstimate e;
+  const double data_bits =
+      static_cast<double>(p.entries) * p.bits_per_entry;
+  const double tag_bits = static_cast<double>(p.entries) * p.tag_bits;
+
+  const double port_factor =
+      1.0 + 0.45 * (p.read_ports + p.write_ports - 2);
+  const double periphery = p.fully_associative ? 1.65 : 1.30;
+
+  const double data_area = f2_to_mm2(data_bits * kSramCellF2, p.tech_nm);
+  const double tag_area = f2_to_mm2(
+      tag_bits * (p.fully_associative ? kCamCellF2 : kSramCellF2), p.tech_nm);
+  e.area_mm2 = (data_area + tag_area) * periphery * port_factor;
+
+  // Dynamic power: proportional to the bits switched per access. A RAM
+  // activates one row (word line) per access; a CAM broadcasts the key
+  // across every entry's match line — that broadcast is what makes large
+  // fully associative structures power-hungry.
+  // CAM match cells burn roughly twice the energy of an SRAM read per
+  // bit (pre-charged match lines toggling on every search).
+  const double activated_bits =
+      p.fully_associative
+          ? 2.0 * tag_bits + p.bits_per_entry  // all match lines + one row
+          : (p.bits_per_entry + p.tag_bits) * std::sqrt(
+                static_cast<double>(p.entries));
+  // Energy/bit scales with feature size; normalised to ~1 GHz access.
+  const double energy_per_bit_pj = 0.00045 * p.tech_nm;
+  e.dynamic_mw = activated_bits * energy_per_bit_pj * port_factor;
+
+  // Leakage: proportional to total bits (uW per kbit, converted to mW).
+  const double leakage_uw_per_kbit = 0.55 * (p.tech_nm / 40.0);
+  e.leakage_mw = (data_bits + tag_bits) / 1024.0 * leakage_uw_per_kbit / 1000.0;
+
+  // Access time: logarithmic in entries plus match/broadcast penalty for
+  // CAMs (ns; only used for sanity reporting).
+  e.access_ns = 0.15 + 0.04 * std::log2(static_cast<double>(p.entries) + 1) +
+                (p.fully_associative ? 0.10 : 0.0);
+  e.access_ns *= p.tech_nm / 40.0;
+  return e;
+}
+
+SramEstimate baseline_hierarchy(int tech_nm) {
+  // Table II geometry. Line = 64 B = 512 bits; tags ~40 bits.
+  const struct {
+    std::uint64_t bytes;
+  } levels[] = {{32 * 1024}, {32 * 1024}, {256 * 1024}, {2 * 1024 * 1024}};
+  SramEstimate total;
+  for (const auto& level : levels) {
+    SramParams p;
+    p.entries = level.bytes / 64;
+    p.bits_per_entry = 512;
+    p.tag_bits = 40;
+    p.fully_associative = false;
+    p.tech_nm = tech_nm;
+    const auto e = estimate(p);
+    total.area_mm2 += e.area_mm2;
+    total.dynamic_mw += e.dynamic_mw;
+    total.leakage_mw += e.leakage_mw;
+  }
+  return total;
+}
+
+OverheadReport shadow_overhead(const ShadowSizing& sizing, int tech_nm) {
+  OverheadReport report;
+  const struct {
+    const char* name;
+    int entries;
+    int bits;   // payload: cache line or TLB translation
+    int tag;
+  } arrays[] = {
+      {"shadow-dcache", sizing.dcache_entries, 512, 46},
+      {"shadow-icache", sizing.icache_entries, 512, 46},
+      {"shadow-dTLB", sizing.dtlb_entries, 64, 52},
+      {"shadow-iTLB", sizing.itlb_entries, 64, 52},
+  };
+  for (const auto& a : arrays) {
+    SramParams p;
+    p.name = a.name;
+    p.entries = static_cast<std::uint64_t>(a.entries);
+    p.bits_per_entry = a.bits;
+    p.tag_bits = a.tag;
+    p.fully_associative = true;  // associatively filled lookup tables
+    // The shadow d-cache is read by every dependent load and written by
+    // every miss: model an extra port relative to a plain array.
+    p.read_ports = 2;
+    p.write_ports = 1;
+    p.tech_nm = tech_nm;
+    report.structures.push_back({a.name, estimate(p)});
+  }
+  for (const auto& s : report.structures) {
+    report.total_area_mm2 += s.estimate.area_mm2;
+    report.total_power_mw += s.estimate.total_mw();
+  }
+  const auto base = baseline_hierarchy(tech_nm);
+  report.area_percent = 100.0 * report.total_area_mm2 / base.area_mm2;
+  report.power_percent =
+      100.0 * report.total_power_mw / (base.dynamic_mw + base.leakage_mw);
+  return report;
+}
+
+}  // namespace safespec::model

@@ -1,0 +1,74 @@
+// CACTI-lite: an analytical SRAM/CAM area, power and access-time model.
+//
+// The paper evaluates hardware overhead (Table V) with CACTI v5.3 at
+// 40 nm. CACTI itself is a large external tool; this module implements an
+// analytical model with the same functional form — bits x cell area with
+// technology scaling, associativity/CAM overheads, dynamic + leakage
+// power — calibrated so the *relative* conclusions (worst-case "Secure"
+// sizing costs several times the 99.99%-sized WFC configuration, and the
+// WFC configuration is a small fraction of the cache area) reproduce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace safespec::model {
+
+/// One SRAM/CAM array.
+struct SramParams {
+  std::string name;
+  std::uint64_t entries = 64;
+  int bits_per_entry = 512;  ///< payload width
+  int tag_bits = 40;         ///< tag/CAM match width
+  bool fully_associative = false;  ///< CAM tags (shadow structures are FA)
+  int read_ports = 1;
+  int write_ports = 1;
+  int tech_nm = 40;
+};
+
+/// Model outputs for one array.
+struct SramEstimate {
+  double area_mm2 = 0;
+  double dynamic_mw = 0;   ///< at the nominal access rate
+  double leakage_mw = 0;
+  double access_ns = 0;
+  double total_mw() const { return dynamic_mw + leakage_mw; }
+};
+
+/// Analytical estimate for one array (deterministic, closed-form).
+SramEstimate estimate(const SramParams& params);
+
+/// A named group of arrays with roll-up totals.
+struct StructureReport {
+  std::string name;
+  SramEstimate estimate;
+};
+
+struct OverheadReport {
+  std::vector<StructureReport> structures;
+  double total_area_mm2 = 0;
+  double total_power_mw = 0;
+  /// Percentages relative to the baseline cache hierarchy (Table II).
+  double area_percent = 0;
+  double power_percent = 0;
+};
+
+/// SafeSpec shadow-structure sizings for Table V.
+struct ShadowSizing {
+  int dcache_entries = 72;   ///< "Secure": LDQ-bound
+  int icache_entries = 224;  ///< "Secure": ROB-bound
+  int dtlb_entries = 72;
+  int itlb_entries = 224;
+};
+
+/// Computes the Table V row for one sizing: the four shadow structures
+/// (fully associative, 64 B lines / TLB entries), compared against the
+/// baseline cache hierarchy of Table II at `tech_nm`.
+OverheadReport shadow_overhead(const ShadowSizing& sizing, int tech_nm = 40);
+
+/// Area/power of the baseline hierarchy (L1I+L1D+L2+L3 of Table II), the
+/// denominator of the percentage columns.
+SramEstimate baseline_hierarchy(int tech_nm = 40);
+
+}  // namespace safespec::model

@@ -1,0 +1,48 @@
+// Direction-predictor interface.
+//
+// The SafeSpec threat model (§II-C) assumes the *strongest possible*
+// adversary against the predictor: its state is effectively attacker-
+// programmable. The defense therefore never relies on predictor hygiene —
+// but the simulator still needs realistic predictors so that (a) Spectre
+// mistraining works the way the paper describes and (b) the performance
+// study sees representative speculation depth.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.h"
+
+namespace safespec::predictor {
+
+/// Predicts taken/not-taken for conditional branches and learns from
+/// resolved outcomes. Implementations are deterministic.
+class DirectionPredictor {
+ public:
+  virtual ~DirectionPredictor() = default;
+
+  /// Predicted direction for the branch at `pc`.
+  virtual bool predict(Addr pc) = 0;
+
+  /// Trains on a resolved branch. Called for every conditional branch at
+  /// resolution time (the attacker-visible training path).
+  virtual void update(Addr pc, bool taken) = 0;
+
+  /// Resets all tables to the power-on state.
+  virtual void reset() = 0;
+};
+
+enum class DirectionKind : std::uint8_t { kBimodal, kGshare, kPerceptron };
+
+struct DirectionConfig {
+  DirectionKind kind = DirectionKind::kGshare;
+  int table_bits = 12;       ///< log2 of table entries
+  int history_bits = 12;     ///< gshare/perceptron global history length
+  int perceptron_weights = 16;
+};
+
+/// Factory for the configured predictor flavour.
+std::unique_ptr<DirectionPredictor> make_direction_predictor(
+    const DirectionConfig& config);
+
+}  // namespace safespec::predictor

@@ -1,0 +1,151 @@
+#include "predictor/branch_predictor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace safespec::predictor {
+
+namespace {
+
+/// Classic 2-bit saturating counter table indexed by pc.
+class BimodalPredictor final : public DirectionPredictor {
+ public:
+  explicit BimodalPredictor(int table_bits)
+      : mask_((1u << table_bits) - 1), table_(1u << table_bits, 1) {}
+
+  bool predict(Addr pc) override { return table_[index(pc)] >= 2; }
+
+  void update(Addr pc, bool taken) override {
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken) {
+      ctr = static_cast<std::uint8_t>(std::min<int>(3, ctr + 1));
+    } else {
+      ctr = static_cast<std::uint8_t>(std::max<int>(0, ctr - 1));
+    }
+  }
+
+  void reset() override { std::fill(table_.begin(), table_.end(), 1); }
+
+ private:
+  std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }
+
+  std::uint32_t mask_;
+  std::vector<std::uint8_t> table_;
+};
+
+/// gshare: global history XOR pc indexes a 2-bit counter table.
+class GsharePredictor final : public DirectionPredictor {
+ public:
+  GsharePredictor(int table_bits, int history_bits)
+      : mask_((1u << table_bits) - 1),
+        history_mask_((1ull << history_bits) - 1),
+        table_(1u << table_bits, 1) {}
+
+  bool predict(Addr pc) override { return table_[index(pc)] >= 2; }
+
+  void update(Addr pc, bool taken) override {
+    std::uint8_t& ctr = table_[index(pc)];
+    if (taken) {
+      ctr = static_cast<std::uint8_t>(std::min<int>(3, ctr + 1));
+    } else {
+      ctr = static_cast<std::uint8_t>(std::max<int>(0, ctr - 1));
+    }
+    history_ = ((history_ << 1) | (taken ? 1 : 0)) & history_mask_;
+  }
+
+  void reset() override {
+    std::fill(table_.begin(), table_.end(), 1);
+    history_ = 0;
+  }
+
+ private:
+  std::size_t index(Addr pc) const {
+    return ((pc >> 2) ^ history_) & mask_;
+  }
+
+  std::uint32_t mask_;
+  std::uint64_t history_mask_;
+  std::uint64_t history_ = 0;
+  std::vector<std::uint8_t> table_;
+};
+
+/// Perceptron predictor (Jimenez & Lin, HPCA'01): a row of signed weights
+/// dotted with the global history decides the direction; trained when
+/// wrong or under-confident.
+class PerceptronPredictor final : public DirectionPredictor {
+ public:
+  PerceptronPredictor(int table_bits, int num_weights)
+      : mask_((1u << table_bits) - 1),
+        num_weights_(num_weights),
+        threshold_(static_cast<int>(1.93 * num_weights + 14)),
+        weights_(static_cast<std::size_t>(1u << table_bits) * (num_weights + 1),
+                 0) {}
+
+  bool predict(Addr pc) override { return output(pc) >= 0; }
+
+  void update(Addr pc, bool taken) override {
+    const int y = output(pc);
+    const bool predicted = y >= 0;
+    if (predicted != taken || std::abs(y) <= threshold_) {
+      std::int16_t* w = row(pc);
+      const int t = taken ? 1 : -1;
+      w[0] = clamp_weight(w[0] + t);  // bias
+      for (int i = 0; i < num_weights_; ++i) {
+        const int h = ((history_ >> i) & 1) ? 1 : -1;
+        w[i + 1] = clamp_weight(w[i + 1] + t * h);
+      }
+    }
+    history_ = (history_ << 1) | (taken ? 1 : 0);
+  }
+
+  void reset() override {
+    std::fill(weights_.begin(), weights_.end(), 0);
+    history_ = 0;
+  }
+
+ private:
+  static std::int16_t clamp_weight(int v) {
+    return static_cast<std::int16_t>(std::clamp(v, -128, 127));
+  }
+
+  std::int16_t* row(Addr pc) {
+    return &weights_[((pc >> 2) & mask_) *
+                     static_cast<std::size_t>(num_weights_ + 1)];
+  }
+
+  int output(Addr pc) {
+    const std::int16_t* w = row(pc);
+    int y = w[0];
+    for (int i = 0; i < num_weights_; ++i) {
+      const int h = ((history_ >> i) & 1) ? 1 : -1;
+      y += w[i + 1] * h;
+    }
+    return y;
+  }
+
+  std::uint32_t mask_;
+  int num_weights_;
+  int threshold_;
+  std::uint64_t history_ = 0;
+  std::vector<std::int16_t> weights_;
+};
+
+}  // namespace
+
+std::unique_ptr<DirectionPredictor> make_direction_predictor(
+    const DirectionConfig& config) {
+  switch (config.kind) {
+    case DirectionKind::kBimodal:
+      return std::make_unique<BimodalPredictor>(config.table_bits);
+    case DirectionKind::kGshare:
+      return std::make_unique<GsharePredictor>(config.table_bits,
+                                               config.history_bits);
+    case DirectionKind::kPerceptron:
+      return std::make_unique<PerceptronPredictor>(config.table_bits,
+                                                   config.perceptron_weights);
+  }
+  return nullptr;
+}
+
+}  // namespace safespec::predictor

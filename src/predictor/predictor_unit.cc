@@ -1,0 +1,95 @@
+#include "predictor/predictor_unit.h"
+
+namespace safespec::predictor {
+
+PredictorUnit::PredictorUnit(const PredictorConfig& config)
+    : config_(config),
+      direction_(make_direction_predictor(config.direction)),
+      btb_(config.btb),
+      rsb_(config.rsb_depth) {}
+
+Prediction PredictorUnit::predict(Addr pc, const isa::Instruction& inst) {
+  using isa::OpClass;
+  Prediction p;
+  switch (inst.op) {
+    case OpClass::kJump:
+      p.taken = true;
+      p.target = inst.target;
+      return p;
+    case OpClass::kCall:
+      p.taken = true;
+      p.target = inst.target;
+      rsb_.push(pc + isa::kInstrBytes);
+      return p;
+    case OpClass::kRet: {
+      p.taken = true;
+      const auto top = rsb_.pop();
+      if (top.has_value()) {
+        p.target = *top;
+      } else if (const auto btb_target = btb_.lookup(pc);
+                 btb_target.has_value()) {
+        p.target = *btb_target;  // RSB underflow falls back to BTB
+      } else {
+        p.target_known = false;
+      }
+      return p;
+    }
+    case OpClass::kBranchIndirect: {
+      p.taken = true;
+      const auto target = btb_.lookup(pc);
+      if (target.has_value()) {
+        p.target = *target;
+      } else {
+        p.target_known = false;
+      }
+      return p;
+    }
+    case OpClass::kBranch:
+      p.taken = direction_->predict(pc);
+      p.target = inst.target;  // static taken-target; fall-through otherwise
+      return p;
+    default:
+      return p;  // not a branch: never taken
+  }
+}
+
+void PredictorUnit::train(Addr pc, const isa::Instruction& inst, bool taken,
+                          Addr target) {
+  using isa::OpClass;
+  switch (inst.op) {
+    case OpClass::kBranch:
+      direction_->update(pc, taken);
+      break;
+    case OpClass::kBranchIndirect:
+    case OpClass::kRet:
+      btb_.update(pc, target);
+      break;
+    case OpClass::kJump:
+    case OpClass::kCall:
+      // Static targets; nothing to learn.
+      break;
+    default:
+      break;
+  }
+}
+
+void PredictorUnit::mistrain_direction(Addr pc, bool taken, int repetitions) {
+  for (int i = 0; i < repetitions; ++i) direction_->update(pc, taken);
+}
+
+void PredictorUnit::note_resolution(bool correct) {
+  if (correct) {
+    direction_stats_.hits.add();
+  } else {
+    direction_stats_.misses.add();
+  }
+}
+
+void PredictorUnit::reset() {
+  direction_->reset();
+  btb_.reset();
+  rsb_.reset();
+  direction_stats_.reset();
+}
+
+}  // namespace safespec::predictor

@@ -1,0 +1,73 @@
+// Combined branch-prediction unit: direction predictor + BTB + RSB, plus
+// the explicit adversarial API the threat model grants the attacker
+// (arbitrary mistraining and direct pollution).
+#pragma once
+
+#include <memory>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "predictor/branch_predictor.h"
+#include "predictor/btb.h"
+
+namespace safespec::predictor {
+
+struct PredictorConfig {
+  DirectionConfig direction;
+  BtbConfig btb;
+  int rsb_depth = 16;
+};
+
+/// What fetch should do after a (possible) branch.
+struct Prediction {
+  bool taken = false;     ///< for conditional branches
+  Addr target = 0;        ///< predicted next pc when taken/indirect
+  bool target_known = true;
+};
+
+/// Front-end prediction for every branch flavour in the micro-ISA.
+class PredictorUnit {
+ public:
+  explicit PredictorUnit(const PredictorConfig& config);
+
+  /// Predicts the outcome of branch `inst` at `pc`. For conditional
+  /// branches the static target is encoded in the instruction; for
+  /// indirect branches the BTB supplies it (target_known=false on BTB
+  /// miss — fetch then stalls until resolution, like a real front end
+  /// with no target).
+  Prediction predict(Addr pc, const isa::Instruction& inst);
+
+  /// Resolution-time training: direction tables and BTB learn the actual
+  /// outcome/target.
+  void train(Addr pc, const isa::Instruction& inst, bool taken, Addr target);
+
+  // ---- adversarial API (threat model P3) ------------------------------
+  /// Installs an arbitrary BTB target for `pc` — Spectre v2 poisoning, as
+  /// an attacker achieves with a colliding branch on the same core.
+  void poison_btb(Addr pc, Addr target) { btb_.update(pc, target); }
+
+  /// Forces the direction predictor toward `taken` for `pc` by repeated
+  /// training — Spectre v1 mistraining without running the victim.
+  void mistrain_direction(Addr pc, bool taken, int repetitions = 8);
+
+  void reset();
+
+  Rsb& rsb() { return rsb_; }
+  Btb& btb() { return btb_; }
+  HitMiss& direction_stats() { return direction_stats_; }
+  const HitMiss& direction_stats() const { return direction_stats_; }
+
+  /// Records whether the last prediction for a resolved conditional
+  /// branch was correct (bookkeeping for mispredict-rate stats).
+  void note_resolution(bool correct);
+
+ private:
+  PredictorConfig config_;
+  std::unique_ptr<DirectionPredictor> direction_;
+  Btb btb_;
+  Rsb rsb_;
+  HitMiss direction_stats_;  ///< hits = correct predictions
+};
+
+}  // namespace safespec::predictor

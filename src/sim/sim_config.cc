@@ -1,0 +1,83 @@
+#include "sim/sim_config.h"
+
+#include <sstream>
+
+namespace safespec::sim {
+
+cpu::CoreConfig skylake_config(shadow::CommitPolicy policy) {
+  cpu::CoreConfig c;
+  // Table I.
+  c.issue_width = 6;
+  c.fetch_width = 6;
+  c.commit_width = 6;
+  c.iq_entries = 96;
+  c.rob_entries = 224;
+  c.ldq_entries = 72;
+  c.stq_entries = 56;
+  c.itlb = {.name = "iTLB", .entries = 64, .ways = 4};
+  c.dtlb = {.name = "dTLB", .entries = 64, .ways = 4};
+  // Table II (line size 64 B everywhere).
+  c.hierarchy.l1i = {.name = "L1I", .size_bytes = 32 * 1024, .ways = 8,
+                     .line_bytes = 64, .hit_latency = 4};
+  c.hierarchy.l1d = {.name = "L1D", .size_bytes = 32 * 1024, .ways = 8,
+                     .line_bytes = 64, .hit_latency = 4};
+  c.hierarchy.l2 = {.name = "L2", .size_bytes = 256 * 1024, .ways = 4,
+                    .line_bytes = 64, .hit_latency = 12};
+  c.hierarchy.l3 = {.name = "L3", .size_bytes = 2 * 1024 * 1024, .ways = 16,
+                    .line_bytes = 64, .hit_latency = 44};
+  c.hierarchy.memory_latency = 191;
+  // SafeSpec.
+  c.policy = policy;
+  c.shadow_dcache = {.name = "shadow-dcache", .entries = c.ldq_entries};
+  c.shadow_icache = {.name = "shadow-icache", .entries = c.rob_entries};
+  c.shadow_dtlb = {.name = "shadow-dtlb", .entries = c.ldq_entries};
+  c.shadow_itlb = {.name = "shadow-itlb", .entries = c.rob_entries};
+  return c;
+}
+
+std::string describe_config(const cpu::CoreConfig& c) {
+  std::ostringstream oss;
+  oss << "CPU (Table I)\n"
+      << "  Issue               " << c.issue_width << "-way issue\n"
+      << "  IQ                  " << c.iq_entries << "-entry Issue Queue\n"
+      << "  Commit              up to " << c.commit_width
+      << " micro-ops/cycle\n"
+      << "  ROB                 " << c.rob_entries
+      << "-entry Reorder Buffer\n"
+      << "  iTLB                " << c.itlb.entries << "-entry\n"
+      << "  dTLB                " << c.dtlb.entries << "-entry\n"
+      << "  LDQ                 " << c.ldq_entries << "-entry\n"
+      << "  STQ                 " << c.stq_entries << "-entry\n"
+      << "Memory system (Table II)\n"
+      << "  L1I-Cache           " << c.hierarchy.l1i.size_bytes / 1024
+      << " KB, " << c.hierarchy.l1i.ways << "-way, "
+      << c.hierarchy.l1i.line_bytes << "B line, "
+      << c.hierarchy.l1i.hit_latency << " cycle hit\n"
+      << "  L1D-Cache           " << c.hierarchy.l1d.size_bytes / 1024
+      << " KB, " << c.hierarchy.l1d.ways << "-way, "
+      << c.hierarchy.l1d.line_bytes << "B line, "
+      << c.hierarchy.l1d.hit_latency << " cycle hit\n"
+      << "  L2 Shared Cache     " << c.hierarchy.l2.size_bytes / 1024
+      << " KB, " << c.hierarchy.l2.ways << "-way, "
+      << c.hierarchy.l2.line_bytes << "B line, "
+      << c.hierarchy.l2.hit_latency << " cycle hit\n"
+      << "  L3 Shared Cache     " << c.hierarchy.l3.size_bytes / (1024 * 1024)
+      << " MB, " << c.hierarchy.l3.ways << "-way, "
+      << c.hierarchy.l3.line_bytes << "B line, "
+      << c.hierarchy.l3.hit_latency << " cycle hit\n"
+      << "  Memory              " << c.hierarchy.memory_latency
+      << " cycles\n"
+      << "SafeSpec\n"
+      << "  Policy              " << shadow::to_string(c.policy) << "\n"
+      << "  shadow d-cache      " << c.shadow_dcache.entries << " entries ("
+      << shadow::to_string(c.shadow_dcache.full_policy) << ")\n"
+      << "  shadow i-cache      " << c.shadow_icache.entries << " entries ("
+      << shadow::to_string(c.shadow_icache.full_policy) << ")\n"
+      << "  shadow dTLB         " << c.shadow_dtlb.entries << " entries ("
+      << shadow::to_string(c.shadow_dtlb.full_policy) << ")\n"
+      << "  shadow iTLB         " << c.shadow_itlb.entries << " entries ("
+      << shadow::to_string(c.shadow_itlb.full_policy) << ")\n";
+  return oss.str();
+}
+
+}  // namespace safespec::sim

@@ -1,0 +1,26 @@
+// Canonical simulation configurations.
+//
+// skylake_config() reproduces Tables I and II of the paper: a 6-wide
+// SkyLake-like out-of-order core (96-entry IQ, 224-entry ROB, 72/56-entry
+// LDQ/STQ, 64-entry TLBs) over a 32K/32K/256K/2M inclusive hierarchy with
+// 4/12/44-cycle hits and 191-cycle memory.
+#pragma once
+
+#include <string>
+
+#include "cpu/core.h"
+#include "safespec/shadow_structures.h"
+
+namespace safespec::sim {
+
+/// Table I + Table II configuration with the given protection policy.
+/// Shadow structures default to the worst-case "Secure" sizing (§V):
+/// d-side bounded by the LDQ (72), i-side bounded by the ROB (224).
+cpu::CoreConfig skylake_config(
+    shadow::CommitPolicy policy = shadow::CommitPolicy::kBaseline);
+
+/// Pretty-printer used by bench/table1_2_config to echo the simulated
+/// configuration the way the paper tabulates it.
+std::string describe_config(const cpu::CoreConfig& config);
+
+}  // namespace safespec::sim

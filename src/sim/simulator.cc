@@ -1,0 +1,71 @@
+#include "sim/simulator.h"
+
+namespace safespec::sim {
+
+Simulator::Simulator(const cpu::CoreConfig& config, isa::Program program)
+    : program_(std::move(program)) {
+  core_ = std::make_unique<cpu::Core>(config, &program_, &mem_, &page_table_);
+}
+
+void Simulator::map_region(Addr base, std::uint64_t bytes,
+                           memory::PagePerm perm) {
+  const Addr first = page_of(base);
+  const Addr last = page_of(base + (bytes == 0 ? 0 : bytes - 1));
+  for (Addr page = first; page <= last; ++page) {
+    mem_.map_page(page, perm);
+    page_table_.map_identity(page,
+                             perm == memory::PagePerm::kKernel);
+  }
+}
+
+void Simulator::map_text() {
+  for (const Addr pc : program_.pcs()) {
+    const Addr page = page_of(pc);
+    if (!mem_.is_mapped(page)) {
+      mem_.map_page(page, memory::PagePerm::kUser);
+      page_table_.map_identity(page, /*kernel_only=*/false);
+    }
+  }
+}
+
+SimResult Simulator::run(Cycle max_cycles, std::uint64_t max_instrs) {
+  const auto stop = core_->run(max_cycles, max_instrs);
+  return snapshot(stop);
+}
+
+SimResult Simulator::snapshot(cpu::StopReason stop) const {
+  const cpu::Core& core = *core_;
+  SimResult r;
+  r.stop = stop;
+  r.cycles = core.stats().cycles;
+  r.committed_instrs = core.stats().committed_instrs;
+  r.ipc = core.stats().ipc();
+
+  r.dcache_accesses = core.hierarchy().l1d().stats().accesses();
+  r.dcache_misses = core.hierarchy().l1d().stats().misses.value();
+  r.shadow_dcache_hits = core.shadow_dcache().stats().hits.value();
+
+  // i-side figures use the per-instruction fetch accounting (each fetch
+  // is served by exactly one of L1I / shadow / below).
+  r.icache_accesses = core.stats().fetch_accesses;
+  r.icache_misses = core.stats().fetch_misses;
+  r.shadow_icache_hits = core.stats().fetch_shadow_hits;
+
+  r.shadow_dcache_commit_rate = core.shadow_dcache().stats().commit_rate();
+  r.shadow_icache_commit_rate = core.shadow_icache().stats().commit_rate();
+  r.shadow_dcache_p9999 =
+      core.shadow_dcache().stats().occupancy.percentile(0.9999);
+  r.shadow_icache_p9999 =
+      core.shadow_icache().stats().occupancy.percentile(0.9999);
+  r.shadow_dtlb_p9999 =
+      core.shadow_dtlb().stats().occupancy.percentile(0.9999);
+  r.shadow_itlb_p9999 =
+      core.shadow_itlb().stats().occupancy.percentile(0.9999);
+
+  r.mispredicts = core.stats().mispredicts;
+  r.squashed_instrs = core.stats().squashed_instrs;
+  r.faults = core.stats().faults;
+  return r;
+}
+
+}  // namespace safespec::sim

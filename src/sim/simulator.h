@@ -1,0 +1,109 @@
+// High-level run harness: wires a Program, MainMemory, PageTable and Core
+// together, provides address-space setup helpers, and extracts the result
+// summary the benchmarks and examples consume.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+#include "cpu/core.h"
+#include "isa/program.h"
+#include "memory/main_memory.h"
+#include "memory/page_table.h"
+
+namespace safespec::sim {
+
+/// Everything the figures need from one run, flattened out of the core's
+/// structures.
+struct SimResult {
+  cpu::StopReason stop = cpu::StopReason::kMaxCycles;
+  Cycle cycles = 0;
+  std::uint64_t committed_instrs = 0;
+  double ipc = 0.0;
+
+  // d-cache (Fig 12/13): reads only; miss rate "including the shadow".
+  std::uint64_t dcache_accesses = 0;
+  std::uint64_t dcache_misses = 0;       ///< L1D misses
+  std::uint64_t shadow_dcache_hits = 0;  ///< of which served by shadow
+  double dcache_miss_rate_incl_shadow() const {
+    return dcache_accesses == 0
+               ? 0.0
+               : static_cast<double>(dcache_misses - shadow_dcache_hits) /
+                     dcache_accesses;
+  }
+  double shadow_dcache_hit_fraction() const {
+    const auto hits = dcache_accesses - dcache_misses + shadow_dcache_hits;
+    return hits == 0 ? 0.0
+                     : static_cast<double>(shadow_dcache_hits) / hits;
+  }
+
+  // i-cache (Fig 14/15): per-instruction fetch accounting — each fetched
+  // instruction is served by exactly one of L1I, shadow i-cache, or a
+  // lower level; `icache_misses` already excludes shadow hits.
+  std::uint64_t icache_accesses = 0;
+  std::uint64_t icache_misses = 0;
+  std::uint64_t shadow_icache_hits = 0;
+  double icache_miss_rate_incl_shadow() const {
+    return icache_accesses == 0
+               ? 0.0
+               : static_cast<double>(icache_misses) / icache_accesses;
+  }
+  double shadow_icache_hit_fraction() const {
+    const auto hits = icache_accesses - icache_misses;
+    return hits == 0 ? 0.0
+                     : static_cast<double>(shadow_icache_hits) / hits;
+  }
+
+  // Shadow lifecycle (Fig 16) and occupancy percentiles (Figs 6-9).
+  double shadow_dcache_commit_rate = 0.0;
+  double shadow_icache_commit_rate = 0.0;
+  std::uint64_t shadow_dcache_p9999 = 0;
+  std::uint64_t shadow_icache_p9999 = 0;
+  std::uint64_t shadow_dtlb_p9999 = 0;
+  std::uint64_t shadow_itlb_p9999 = 0;
+
+  std::uint64_t mispredicts = 0;
+  std::uint64_t squashed_instrs = 0;
+  std::uint64_t faults = 0;
+};
+
+/// Owns the full simulated machine for one experiment.
+class Simulator {
+ public:
+  Simulator(const cpu::CoreConfig& config, isa::Program program);
+
+  /// Maps [base, base+bytes) as user or kernel pages, identity-translated.
+  void map_region(Addr base, std::uint64_t bytes,
+                  memory::PagePerm perm = memory::PagePerm::kUser);
+
+  /// Convenience: map the pages every instruction of the program sits on.
+  void map_text();
+
+  /// Writes a 64-bit value into architectural memory (pre-run setup).
+  void poke(Addr addr, std::uint64_t value) { mem_.write64(addr, value); }
+  std::uint64_t peek(Addr addr) const { return mem_.read64(addr); }
+
+  /// Runs to completion (halt/fault/budget) and snapshots the result.
+  SimResult run(Cycle max_cycles = 50'000'000,
+                std::uint64_t max_instrs = ~0ULL);
+
+  cpu::Core& core() { return *core_; }
+  const cpu::Core& core() const { return *core_; }
+  memory::MainMemory& memory() { return mem_; }
+  memory::PageTable& page_table() { return page_table_; }
+  const isa::Program& program() const { return program_; }
+
+  /// Snapshot of the current statistics without running (used after
+  /// driving core().step() manually in tests).
+  SimResult snapshot(cpu::StopReason stop) const;
+
+ private:
+  isa::Program program_;
+  memory::MainMemory mem_;
+  memory::PageTable page_table_;
+  std::unique_ptr<cpu::Core> core_;
+};
+
+}  // namespace safespec::sim

@@ -1,0 +1,25 @@
+#include "workloads/runner.h"
+
+namespace safespec::workloads {
+
+std::unique_ptr<sim::Simulator> make_workload_sim(
+    const WorkloadProfile& profile, const cpu::CoreConfig& config,
+    std::uint64_t target_instrs) {
+  WorkloadImage image = generate(profile, target_instrs);
+  auto sim = std::make_unique<sim::Simulator>(config, std::move(image.program));
+  sim->map_text();
+  sim->map_region(image.data_base, image.data_bytes);
+  for (const auto& [addr, value] : image.init_words) sim->poke(addr, value);
+  return sim;
+}
+
+sim::SimResult run_workload(const WorkloadProfile& profile,
+                            const cpu::CoreConfig& config,
+                            std::uint64_t measure_instrs) {
+  auto sim = make_workload_sim(profile, config, measure_instrs);
+  // Generous cycle budget: the worst (pointer-chasing) profiles run well
+  // under 10 cycles per instruction.
+  return sim->run(measure_instrs * 40 + 1'000'000, measure_instrs);
+}
+
+}  // namespace safespec::workloads

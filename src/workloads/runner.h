@@ -1,0 +1,29 @@
+// Convenience wrapper running a workload profile on a configured core —
+// the shared driver for every performance figure (Figs 6-9, 11-16).
+#pragma once
+
+#include <memory>
+
+#include "cpu/core.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace safespec::workloads {
+
+/// Builds the simulator for `profile` (program generated for
+/// `target_instrs` committed instructions, address space mapped, chase
+/// links initialised).
+std::unique_ptr<sim::Simulator> make_workload_sim(
+    const WorkloadProfile& profile, const cpu::CoreConfig& config,
+    std::uint64_t target_instrs);
+
+/// Generates, maps, runs, and snapshots one profile under one config.
+/// `warmup_instrs` committed instructions run before statistics matter;
+/// the run then continues for `measure_instrs` more (statistics are
+/// cumulative — the warm-up mainly primes caches/predictors so short
+/// simulations are not dominated by cold-start effects).
+sim::SimResult run_workload(const WorkloadProfile& profile,
+                            const cpu::CoreConfig& config,
+                            std::uint64_t measure_instrs);
+
+}  // namespace safespec::workloads

@@ -1,0 +1,172 @@
+// End-to-end security validation (Tables III & IV):
+//   * every attack succeeds on the insecure baseline,
+//   * WFB stops everything except Meltdown,
+//   * WFC stops everything,
+//   * the TSA channel opens on undersized shadows and closes under
+//     worst-case sizing.
+#include <gtest/gtest.h>
+
+#include "attacks/attacks.h"
+
+namespace safespec::attacks {
+namespace {
+
+using shadow::CommitPolicy;
+using shadow::FullPolicy;
+
+// ---- baseline: everything leaks -------------------------------------------
+
+TEST(Baseline, SpectreV1Leaks) {
+  const auto out = run_spectre_v1(CommitPolicy::kBaseline, 0x5A);
+  EXPECT_TRUE(out.leaked) << out.detail;
+  EXPECT_EQ(out.recovered, 0x5A);
+}
+
+TEST(Baseline, SpectreV2Leaks) {
+  const auto out = run_spectre_v2(CommitPolicy::kBaseline, 0xC3);
+  EXPECT_TRUE(out.leaked) << out.detail;
+  EXPECT_EQ(out.recovered, 0xC3);
+}
+
+TEST(Baseline, MeltdownLeaks) {
+  const auto out = run_meltdown(CommitPolicy::kBaseline, 0x7E);
+  EXPECT_TRUE(out.leaked) << out.detail;
+  EXPECT_EQ(out.recovered, 0x7E);
+}
+
+TEST(Baseline, ICacheVariantLeaks) {
+  const auto out = run_icache_attack(CommitPolicy::kBaseline, 0x42);
+  EXPECT_TRUE(out.leaked) << out.detail;
+}
+
+TEST(Baseline, ITlbVariantLeaks) {
+  const auto out = run_itlb_attack(CommitPolicy::kBaseline, 0x42);
+  EXPECT_TRUE(out.leaked) << out.detail;
+}
+
+TEST(Baseline, DTlbVariantLeaks) {
+  const auto out = run_dtlb_attack(CommitPolicy::kBaseline, 0x42);
+  EXPECT_TRUE(out.leaked) << out.detail;
+}
+
+// ---- WFB: Spectre closed, Meltdown still open (Table III) -----------------
+
+TEST(WFB, SpectreV1Stopped) {
+  const auto out = run_spectre_v1(CommitPolicy::kWFB, 0x5A);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+TEST(WFB, SpectreV2Stopped) {
+  const auto out = run_spectre_v2(CommitPolicy::kWFB, 0xC3);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+TEST(WFB, MeltdownStillLeaks) {
+  // WFB promotes shadow state once all older *branches* resolve; Meltdown
+  // has no branch, so the transmitting line is promoted before the fault
+  // commits — exactly the Table III "WFB does not stop Meltdown" row.
+  const auto out = run_meltdown(CommitPolicy::kWFB, 0x7E);
+  EXPECT_TRUE(out.leaked) << out.detail;
+}
+
+TEST(WFB, ICacheVariantStopped) {
+  EXPECT_FALSE(run_icache_attack(CommitPolicy::kWFB, 0x42).leaked);
+}
+
+TEST(WFB, ITlbVariantStopped) {
+  EXPECT_FALSE(run_itlb_attack(CommitPolicy::kWFB, 0x42).leaked);
+}
+
+TEST(WFB, DTlbVariantStopped) {
+  EXPECT_FALSE(run_dtlb_attack(CommitPolicy::kWFB, 0x42).leaked);
+}
+
+// ---- WFC: everything closed (Tables III & IV) ------------------------------
+
+TEST(WFC, SpectreV1Stopped) {
+  const auto out = run_spectre_v1(CommitPolicy::kWFC, 0x5A);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+TEST(WFC, SpectreV2Stopped) {
+  const auto out = run_spectre_v2(CommitPolicy::kWFC, 0xC3);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+TEST(WFC, MeltdownStopped) {
+  const auto out = run_meltdown(CommitPolicy::kWFC, 0x7E);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+TEST(WFC, ICacheVariantStopped) {
+  EXPECT_FALSE(run_icache_attack(CommitPolicy::kWFC, 0x42).leaked);
+}
+
+TEST(WFC, ITlbVariantStopped) {
+  EXPECT_FALSE(run_itlb_attack(CommitPolicy::kWFC, 0x42).leaked);
+}
+
+TEST(WFC, DTlbVariantStopped) {
+  EXPECT_FALSE(run_dtlb_attack(CommitPolicy::kWFC, 0x42).leaked);
+}
+
+// ---- leak robustness across secret values ---------------------------------
+
+class SecretSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SecretSweep, SpectreV1RecoversAnyByteOnBaseline) {
+  const auto out = run_spectre_v1(CommitPolicy::kBaseline, GetParam());
+  EXPECT_TRUE(out.leaked) << out.detail;
+  EXPECT_EQ(out.recovered, GetParam());
+}
+
+TEST_P(SecretSweep, MeltdownRecoversAnyByteOnBaseline) {
+  const auto out = run_meltdown(CommitPolicy::kBaseline, GetParam());
+  EXPECT_TRUE(out.leaked) << out.detail;
+  EXPECT_EQ(out.recovered, GetParam());
+}
+
+TEST_P(SecretSweep, WfcStopsSpectreV1ForAnyByte) {
+  EXPECT_FALSE(run_spectre_v1(CommitPolicy::kWFC, GetParam()).leaked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bytes, SecretSweep,
+                         ::testing::Values(1, 7, 63, 128, 200, 255));
+
+// ---- TSA (§V, Fig 10) -------------------------------------------------------
+
+TEST(TSA, DropChannelLeaksOnUndersizedShadow) {
+  TsaConfig config;
+  config.shadow_entries = 8;
+  config.full_policy = FullPolicy::kDrop;
+  const auto out = run_tsa_attack(config);
+  EXPECT_TRUE(out.leaked) << out.detail;
+  EXPECT_EQ(out.recovered_bit, 1);
+}
+
+TEST(TSA, StallChannelLeaksOnUndersizedShadow) {
+  TsaConfig config;
+  config.shadow_entries = 8;
+  config.full_policy = FullPolicy::kStall;
+  const auto out = run_tsa_attack(config);
+  EXPECT_TRUE(out.leaked) << out.detail;
+}
+
+TEST(TSA, WorstCaseSizingClosesDropChannel) {
+  TsaConfig config;
+  config.shadow_entries = 72;  // LDQ-bound "Secure" sizing (§V)
+  config.full_policy = FullPolicy::kDrop;
+  const auto out = run_tsa_attack(config);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+TEST(TSA, WorstCaseSizingClosesStallChannel) {
+  TsaConfig config;
+  config.shadow_entries = 72;
+  config.full_policy = FullPolicy::kStall;
+  const auto out = run_tsa_attack(config);
+  EXPECT_FALSE(out.leaked) << out.detail;
+}
+
+}  // namespace
+}  // namespace safespec::attacks

@@ -1,0 +1,185 @@
+// Unit and property tests for the common utilities: deterministic RNG,
+// counters, histograms/percentiles, and the geometric mean.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace safespec {
+namespace {
+
+// ---- Rng ----------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next() == b.next() ? 1 : 0;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.chance(0.0));
+  EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(5);
+  const auto first = rng.next();
+  rng.next();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next(), first);
+}
+
+// ---- Counter / HitMiss ----------------------------------------------------------
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HitMissTest, Rates) {
+  HitMiss hm;
+  hm.hits.add(3);
+  hm.misses.add(1);
+  EXPECT_DOUBLE_EQ(hm.hit_rate(), 0.75);
+  EXPECT_DOUBLE_EQ(hm.miss_rate(), 0.25);
+  EXPECT_EQ(hm.accesses(), 4u);
+}
+
+TEST(HitMissTest, EmptyIsZeroNotNan) {
+  HitMiss hm;
+  EXPECT_DOUBLE_EQ(hm.hit_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(hm.miss_rate(), 0.0);
+}
+
+// ---- Histogram -------------------------------------------------------------------
+
+TEST(HistogramTest, BasicMoments) {
+  Histogram h;
+  for (std::uint64_t v : {1, 2, 3, 4}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(HistogramTest, PercentileEdges) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.record(1);
+  h.record(50);
+  EXPECT_EQ(h.percentile(0.5), 1u);
+  EXPECT_EQ(h.percentile(0.99), 1u);
+  EXPECT_EQ(h.percentile(1.0), 50u);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.9999), 0u);
+}
+
+TEST(HistogramTest, P9999ReachesIntoTheTail) {
+  Histogram h;
+  // 9998 zeros + 2 sevens: zero covers only 99.98% of samples, so the
+  // 99.99th percentile must report the tail value.
+  for (int i = 0; i < 9998; ++i) h.record(0);
+  h.record(7);
+  h.record(7);
+  EXPECT_EQ(h.percentile(0.9999), 7u);
+  // With 9999 zeros + 1 seven, zero covers exactly 99.99%.
+  Histogram h2;
+  for (int i = 0; i < 9999; ++i) h2.record(0);
+  h2.record(7);
+  EXPECT_EQ(h2.percentile(0.9999), 0u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.record(3);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(HistogramProperty, PercentileMonotoneInFraction) {
+  Histogram h;
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) h.record(rng.below(100));
+  std::uint64_t prev = 0;
+  for (double f : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999, 1.0}) {
+    const auto p = h.percentile(f);
+    EXPECT_GE(p, prev) << "fraction " << f;
+    prev = p;
+  }
+}
+
+// ---- geometric_mean ---------------------------------------------------------------
+
+TEST(GeoMeanTest, KnownValue) {
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(GeoMeanTest, EmptyIsZero) { EXPECT_EQ(geometric_mean({}), 0.0); }
+
+TEST(GeoMeanTest, InvariantUnderPermutation) {
+  EXPECT_NEAR(geometric_mean({1.0, 2.0, 3.0}),
+              geometric_mean({3.0, 1.0, 2.0}), 1e-12);
+}
+
+TEST(GeoMeanTest, BetweenMinAndMax) {
+  Rng rng(3);
+  std::vector<double> vs;
+  for (int i = 0; i < 50; ++i) vs.push_back(0.5 + rng.uniform());
+  const double g = geometric_mean(vs);
+  EXPECT_GE(g, *std::min_element(vs.begin(), vs.end()));
+  EXPECT_LE(g, *std::max_element(vs.begin(), vs.end()));
+}
+
+}  // namespace
+}  // namespace safespec

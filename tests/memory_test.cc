@@ -1,0 +1,323 @@
+// Unit tests for the memory substrate: backing store with permissions,
+// set-associative cache (geometry, replacement, invalidation), inclusive
+// hierarchy behaviour, TLB, and the page table / walker.
+#include <gtest/gtest.h>
+
+#include "memory/cache.h"
+#include "memory/cache_hierarchy.h"
+#include "memory/main_memory.h"
+#include "memory/page_table.h"
+#include "memory/tlb.h"
+
+namespace safespec::memory {
+namespace {
+
+// ---- MainMemory -----------------------------------------------------------
+
+TEST(MainMemory, UnwrittenWordsReadZero) {
+  MainMemory mem;
+  EXPECT_EQ(mem.read64(0x1234560), 0u);
+}
+
+TEST(MainMemory, WriteReadRoundTrip) {
+  MainMemory mem;
+  mem.write64(0x1000, 0xDEADBEEF);
+  EXPECT_EQ(mem.read64(0x1000), 0xDEADBEEFu);
+}
+
+TEST(MainMemory, SubWordAddressesAliasTheSameWord) {
+  MainMemory mem;
+  mem.write64(0x1000, 42);
+  EXPECT_EQ(mem.read64(0x1003), 42u);  // same 8-byte word
+  EXPECT_EQ(mem.read64(0x1008), 0u);   // next word
+}
+
+TEST(MainMemory, PermissionChecks) {
+  MainMemory mem;
+  mem.map_page(1, PagePerm::kUser);
+  mem.map_page(2, PagePerm::kKernel);
+  EXPECT_TRUE(mem.access_ok(1, PrivLevel::kUser));
+  EXPECT_TRUE(mem.access_ok(1, PrivLevel::kKernel));
+  EXPECT_FALSE(mem.access_ok(2, PrivLevel::kUser));
+  EXPECT_TRUE(mem.access_ok(2, PrivLevel::kKernel));
+  EXPECT_FALSE(mem.access_ok(3, PrivLevel::kKernel));  // unmapped
+}
+
+// ---- Cache -----------------------------------------------------------------
+
+CacheConfig small_cache(ReplPolicy policy = ReplPolicy::kLru) {
+  return {.name = "t",
+          .size_bytes = 4096,  // 64 lines
+          .ways = 4,           // 16 sets
+          .line_bytes = 64,
+          .hit_latency = 4,
+          .policy = policy};
+}
+
+TEST(Cache, GeometryValidation) {
+  CacheConfig bad = small_cache();
+  bad.size_bytes = 1000;  // not divisible
+  EXPECT_THROW(Cache{bad}, std::invalid_argument);
+}
+
+TEST(Cache, MissThenFillThenHit) {
+  Cache c(small_cache());
+  EXPECT_FALSE(c.access(100));
+  c.fill(100);
+  EXPECT_TRUE(c.access(100));
+  EXPECT_EQ(c.stats().hits.value(), 1u);
+  EXPECT_EQ(c.stats().misses.value(), 1u);
+}
+
+TEST(Cache, ProbeHasNoSideEffects) {
+  Cache c(small_cache());
+  c.fill(5);
+  const auto hits = c.stats().hits.value();
+  EXPECT_TRUE(c.probe(5));
+  EXPECT_FALSE(c.probe(6));
+  EXPECT_EQ(c.stats().hits.value(), hits);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  Cache c(small_cache(ReplPolicy::kLru));
+  // Four lines mapping to set 0 (multiples of 16 sets).
+  c.fill(0);
+  c.fill(16);
+  c.fill(32);
+  c.fill(48);
+  // Touch 0 so 16 becomes LRU.
+  EXPECT_TRUE(c.access(0));
+  const auto evicted = c.fill(64);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 16u);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(16));
+}
+
+TEST(Cache, FifoIgnoresTouches) {
+  Cache c(small_cache(ReplPolicy::kFifo));
+  c.fill(0);
+  c.fill(16);
+  c.fill(32);
+  c.fill(48);
+  EXPECT_TRUE(c.access(0));  // does not save it under FIFO
+  const auto evicted = c.fill(64);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 0u);
+}
+
+TEST(Cache, SpeculativeAccessDoesNotUpdateRecency) {
+  Cache c(small_cache(ReplPolicy::kLru));
+  c.fill(0);
+  c.fill(16);
+  c.fill(32);
+  c.fill(48);
+  // Speculative touch of 0 must NOT rescue it from LRU.
+  EXPECT_TRUE(c.access(0, /*update_replacement=*/false));
+  const auto evicted = c.fill(64);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 0u);
+}
+
+TEST(Cache, StatsQuietAccessCountsNothing) {
+  Cache c(small_cache());
+  c.access(7, true, /*count_stats=*/false);
+  EXPECT_EQ(c.stats().accesses(), 0u);
+}
+
+TEST(Cache, InvalidateRemovesLine) {
+  Cache c(small_cache());
+  c.fill(9);
+  EXPECT_TRUE(c.invalidate(9));
+  EXPECT_FALSE(c.probe(9));
+  EXPECT_FALSE(c.invalidate(9));  // already gone
+}
+
+TEST(Cache, RefillOfResidentLineDoesNotEvict) {
+  Cache c(small_cache());
+  c.fill(0);
+  c.fill(16);
+  EXPECT_FALSE(c.fill(0).has_value());
+  EXPECT_TRUE(c.probe(16));
+}
+
+TEST(Cache, OccupancyTracksFills) {
+  Cache c(small_cache());
+  EXPECT_EQ(c.occupancy(), 0u);
+  for (Addr l = 0; l < 10; ++l) c.fill(l);
+  EXPECT_EQ(c.occupancy(), 10u);
+  c.flush_all();
+  EXPECT_EQ(c.occupancy(), 0u);
+}
+
+class ReplacementSweep : public ::testing::TestWithParam<ReplPolicy> {};
+
+TEST_P(ReplacementSweep, CapacityNeverExceeded) {
+  Cache c(small_cache(GetParam()));
+  for (Addr l = 0; l < 1000; ++l) c.fill(l);
+  EXPECT_LE(c.occupancy(), 64u);
+  // Working set smaller than one set's ways always ends resident.
+  c.flush_all();
+  c.fill(0);
+  c.fill(16);
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_TRUE(c.probe(16));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplacementSweep,
+                         ::testing::Values(ReplPolicy::kLru, ReplPolicy::kFifo,
+                                           ReplPolicy::kRandom));
+
+// ---- CacheHierarchy ---------------------------------------------------------
+
+HierarchyConfig tiny_hierarchy() {
+  HierarchyConfig h;
+  h.l1i = {.name = "L1I", .size_bytes = 1024, .ways = 2, .line_bytes = 64,
+           .hit_latency = 4};
+  h.l1d = {.name = "L1D", .size_bytes = 1024, .ways = 2, .line_bytes = 64,
+           .hit_latency = 4};
+  h.l2 = {.name = "L2", .size_bytes = 4096, .ways = 4, .line_bytes = 64,
+          .hit_latency = 12};
+  h.l3 = {.name = "L3", .size_bytes = 16384, .ways = 8, .line_bytes = 64,
+          .hit_latency = 44};
+  h.memory_latency = 191;
+  return h;
+}
+
+TEST(Hierarchy, LatenciesPerLevel) {
+  CacheHierarchy h(tiny_hierarchy());
+  // Cold: memory.
+  auto out = h.timed_access(0x10000, Side::kData, CacheHierarchy::Fill::kYes);
+  EXPECT_EQ(out.latency, 191u);
+  // Now L1.
+  out = h.timed_access(0x10000, Side::kData, CacheHierarchy::Fill::kYes);
+  EXPECT_EQ(out.latency, 4u);
+  EXPECT_EQ(out.level, HitLevel::kL1);
+}
+
+TEST(Hierarchy, NonFillingAccessLeavesNoTrace) {
+  CacheHierarchy h(tiny_hierarchy());
+  h.timed_access(0x20000, Side::kData, CacheHierarchy::Fill::kNo);
+  EXPECT_FALSE(h.resident_l1(line_of(0x20000), Side::kData));
+  EXPECT_FALSE(h.resident_l2(line_of(0x20000)));
+  EXPECT_FALSE(h.resident_l3(line_of(0x20000)));
+}
+
+TEST(Hierarchy, InclusiveFillPopulatesAllLevels) {
+  CacheHierarchy h(tiny_hierarchy());
+  h.fill_all_levels(7, Side::kData);
+  EXPECT_TRUE(h.resident_l1(7, Side::kData));
+  EXPECT_TRUE(h.resident_l2(7));
+  EXPECT_TRUE(h.resident_l3(7));
+  EXPECT_FALSE(h.resident_l1(7, Side::kInstr));  // other L1 untouched
+}
+
+TEST(Hierarchy, FlushLineRemovesEverywhere) {
+  CacheHierarchy h(tiny_hierarchy());
+  h.fill_all_levels(7, Side::kData);
+  h.flush_line(7);
+  EXPECT_FALSE(h.resident_l1(7, Side::kData));
+  EXPECT_FALSE(h.resident_l2(7));
+  EXPECT_FALSE(h.resident_l3(7));
+}
+
+TEST(Hierarchy, L2EvictionBackInvalidatesL1) {
+  CacheHierarchy h(tiny_hierarchy());
+  // L2: 4096B/4w/64B = 16 sets. Lines k*16 alias to L2 set 0.
+  // L1D: 1024/2/64 = 8 sets; k*16 alias to L1 set 0 too (2 ways).
+  h.fill_all_levels(0, Side::kData);
+  // Fill 4 more lines in the same L2 set to force an L2 eviction of 0.
+  for (Addr k = 1; k <= 4; ++k) h.fill_all_levels(k * 16, Side::kData);
+  EXPECT_FALSE(h.resident_l2(0));
+  // Inclusion: line 0 must have been back-invalidated from L1D as well.
+  EXPECT_FALSE(h.resident_l1(0, Side::kData));
+}
+
+// ---- TLB --------------------------------------------------------------------
+
+TEST(TlbTest, MissFillHit) {
+  Tlb tlb({.name = "t", .entries = 8, .ways = 2});
+  EXPECT_FALSE(tlb.access(42).has_value());
+  tlb.fill({42, 77, false});
+  const auto hit = tlb.access(42);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ppage, 77u);
+  EXPECT_FALSE(hit->kernel_only);
+}
+
+TEST(TlbTest, EvictionReturnsVictim) {
+  Tlb tlb({.name = "t", .entries = 4, .ways = 2});  // 2 sets
+  // vpages 0,2,4 all map to set 0.
+  tlb.fill({0, 0, false});
+  tlb.fill({2, 2, false});
+  const auto evicted = tlb.fill({4, 4, false});
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 0u);  // LRU
+}
+
+TEST(TlbTest, InvalidateAndFlush) {
+  Tlb tlb({.name = "t", .entries = 8, .ways = 2});
+  tlb.fill({1, 1, false});
+  tlb.fill({2, 2, true});
+  EXPECT_TRUE(tlb.invalidate(1));
+  EXPECT_FALSE(tlb.probe(1));
+  tlb.flush_all();
+  EXPECT_EQ(tlb.occupancy(), 0u);
+}
+
+TEST(TlbTest, RefillUpdatesInPlace) {
+  Tlb tlb({.name = "t", .entries = 8, .ways = 2});
+  tlb.fill({1, 10, false});
+  tlb.fill({1, 20, true});
+  const auto hit = tlb.access(1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->ppage, 20u);
+  EXPECT_TRUE(hit->kernel_only);
+  EXPECT_EQ(tlb.occupancy(), 1u);
+}
+
+// ---- PageTable ----------------------------------------------------------------
+
+TEST(PageTableTest, TranslateMappedAndUnmapped) {
+  PageTable pt;
+  pt.map(5, 99, /*kernel_only=*/true);
+  const auto t = pt.translate(5);
+  EXPECT_TRUE(t.present);
+  EXPECT_EQ(t.ppage, 99u);
+  EXPECT_TRUE(t.kernel_only);
+  EXPECT_FALSE(pt.translate(6).present);
+}
+
+TEST(PageTableTest, WalkHasFourLevels) {
+  PageTable pt;
+  EXPECT_EQ(pt.walk_addresses(0x1234).size(),
+            static_cast<std::size_t>(PageTable::kWalkLevels));
+}
+
+TEST(PageTableTest, WalkAddressesAreStableAndShareUpperLevels) {
+  PageTable pt;
+  const auto a1 = pt.walk_addresses(0x1000);
+  const auto a2 = pt.walk_addresses(0x1000);
+  EXPECT_EQ(a1, a2);  // deterministic
+  // Neighbouring pages share the root (level 0) table entry region.
+  const auto b = pt.walk_addresses(0x1001);
+  EXPECT_EQ(page_of(a1[0]), page_of(b[0]));
+}
+
+TEST(PageTableTest, WalkAddressesScatterAcrossCacheSets) {
+  // Regression test: a naive power-of-two page-table layout aliases every
+  // walk line into one cache set, which distorted timing badly.
+  PageTable pt;
+  std::set<int> sets;
+  // Widely separated pages use distinct table pages at every level; their
+  // walk lines must spread over many cache sets, not alias to one.
+  for (Addr v = 0; v < 64; ++v) {
+    for (const Addr a : pt.walk_addresses(v * 0x40000 + 0x123)) {
+      sets.insert(static_cast<int>(line_of(a) % 1024));
+    }
+  }
+  EXPECT_GT(sets.size(), 32u);
+}
+
+}  // namespace
+}  // namespace safespec::memory

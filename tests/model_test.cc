@@ -1,0 +1,93 @@
+// Tests for the CACTI-lite analytical model: scaling-law properties
+// (monotonicity in size/ports/technology, CAM > RAM costs) and the
+// Table V shape (Secure sizing costs several times WFC sizing; both a
+// modest fraction of the baseline hierarchy).
+#include <gtest/gtest.h>
+
+#include "model/cacti_lite.h"
+
+namespace safespec::model {
+namespace {
+
+SramParams array(std::uint64_t entries, bool cam = false) {
+  SramParams p;
+  p.entries = entries;
+  p.bits_per_entry = 512;
+  p.tag_bits = 40;
+  p.fully_associative = cam;
+  return p;
+}
+
+TEST(CactiLite, AreaMonotoneInEntries) {
+  EXPECT_LT(estimate(array(64)).area_mm2, estimate(array(128)).area_mm2);
+  EXPECT_LT(estimate(array(128)).area_mm2, estimate(array(512)).area_mm2);
+}
+
+TEST(CactiLite, CamCostsMoreThanRamAtSameGeometry) {
+  const auto ram = estimate(array(128, false));
+  const auto cam = estimate(array(128, true));
+  EXPECT_GT(cam.area_mm2, ram.area_mm2);
+  EXPECT_GT(cam.dynamic_mw, ram.dynamic_mw);
+  EXPECT_GT(cam.access_ns, ram.access_ns);
+}
+
+TEST(CactiLite, PortsIncreaseAreaAndPower) {
+  auto base = array(128);
+  auto ported = array(128);
+  ported.read_ports = 2;
+  EXPECT_GT(estimate(ported).area_mm2, estimate(base).area_mm2);
+  EXPECT_GT(estimate(ported).dynamic_mw, estimate(base).dynamic_mw);
+}
+
+TEST(CactiLite, SmallerTechnologyShrinksArea) {
+  auto at40 = array(128);
+  auto at22 = array(128);
+  at22.tech_nm = 22;
+  EXPECT_LT(estimate(at22).area_mm2, estimate(at40).area_mm2);
+}
+
+TEST(CactiLite, LeakageScalesWithBits) {
+  const auto small = estimate(array(64));
+  const auto big = estimate(array(1024));
+  EXPECT_NEAR(big.leakage_mw / small.leakage_mw, 16.0, 0.5);
+}
+
+TEST(TableV, SecureCostsSeveralTimesWfc) {
+  const ShadowSizing secure{72, 224, 72, 224};
+  const ShadowSizing wfc{16, 25, 10, 25};  // 99.99%-style sizing
+  const auto s = shadow_overhead(secure);
+  const auto w = shadow_overhead(wfc);
+  EXPECT_GT(s.total_area_mm2, 2.5 * w.total_area_mm2);
+  EXPECT_GT(s.total_power_mw, 2.5 * w.total_power_mw);
+}
+
+TEST(TableV, WfcOverheadIsSmallFractionOfHierarchy) {
+  const ShadowSizing wfc{16, 25, 10, 25};
+  const auto report = shadow_overhead(wfc);
+  EXPECT_LT(report.area_percent, 10.0);
+  EXPECT_LT(report.power_percent, 15.0);
+  EXPECT_GT(report.area_percent, 0.0);
+}
+
+TEST(TableV, ReportContainsAllFourStructures) {
+  const auto report = shadow_overhead(ShadowSizing{});
+  ASSERT_EQ(report.structures.size(), 4u);
+  double sum_area = 0;
+  for (const auto& s : report.structures) sum_area += s.estimate.area_mm2;
+  EXPECT_NEAR(sum_area, report.total_area_mm2, 1e-9);
+}
+
+TEST(TableV, BaselineHierarchyDominatedByL3) {
+  // The 2 MB L3 has 32x the bits of L2; total must exceed L3 alone being
+  // most of it — sanity that the denominator is sensible.
+  const auto base = baseline_hierarchy();
+  SramParams l3;
+  l3.entries = 2 * 1024 * 1024 / 64;
+  l3.bits_per_entry = 512;
+  l3.tag_bits = 40;
+  const auto l3e = estimate(l3);
+  EXPECT_GT(l3e.area_mm2 / base.area_mm2, 0.8);
+}
+
+}  // namespace
+}  // namespace safespec::model
