@@ -7,74 +7,98 @@
 //      attack succeeds on the baseline only when the writeback-to-retire
 //      gap exceeds the transmit chain's depth.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "attacks/attacks.h"
-#include "bench_util.h"
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
+#include "experiment/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
-  using benchutil::kInstrsPerRun;
+  const auto opts = experiment::parse_bench_args(argc, argv);
+  const experiment::ParallelRunner runner(opts.threads);
 
   const std::vector<std::string> reps = {"mcf", "deepsjeng", "lbm", "gcc"};
 
   // ---- 1: WFB vs WFC ------------------------------------------------------
-  benchutil::print_header(
+  experiment::ExperimentSpec policy_spec;
+  policy_spec.profile_names(reps)
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFB)
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(opts.instrs);
+  const auto policy_sweep = runner.run(policy_spec);
+
+  experiment::ResultTable ablation1(
       "Ablation 1: commit policy (IPC normalized to baseline)",
       {"WFB", "WFC"});
-  for (const auto& name : reps) {
-    const auto profile = workloads::profile_by_name(name);
-    const auto base = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kBaseline),
-        kInstrsPerRun);
-    const auto wfb = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFB),
-        kInstrsPerRun);
-    const auto wfc = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
-        kInstrsPerRun);
-    benchutil::print_row(name, {wfb.ipc / base.ipc, wfc.ipc / base.ipc});
+  for (std::size_t p = 0; p < reps.size(); ++p) {
+    const double base_ipc = policy_sweep.at(p, 0).ipc;
+    ablation1.add_row(
+        reps[p],
+        {base_ipc == 0 ? 0 : policy_sweep.at(p, 1).ipc / base_ipc,
+         base_ipc == 0 ? 0 : policy_sweep.at(p, 2).ipc / base_ipc});
   }
+  ablation1.print(stdout);
   std::printf("(paper §IV-B: the WFB performance benefit is small, so WFC's\n"
               " extra coverage — Meltdown — is worth it)\n");
 
   // ---- 2: predictor flavour -------------------------------------------------
-  benchutil::print_header(
+  // One variant per (predictor kind, policy) pair: baseline and WFC must
+  // share the predictor flavour for the normalization to be meaningful.
+  const struct {
+    const char* name;
+    predictor::DirectionKind kind;
+  } kinds[] = {
+      {"bimodal", predictor::DirectionKind::kBimodal},
+      {"gshare", predictor::DirectionKind::kGshare},
+      {"perceptron", predictor::DirectionKind::kPerceptron},
+  };
+  experiment::ExperimentSpec predictor_spec;
+  predictor_spec.profile_names(reps).instrs(opts.instrs);
+  for (const auto& k : kinds) {
+    const auto kind = k.kind;
+    const auto set_kind = [kind](cpu::CoreConfig& c) {
+      c.predictor.direction.kind = kind;
+    };
+    predictor_spec.policy(shadow::CommitPolicy::kBaseline, set_kind);
+    predictor_spec.policy(shadow::CommitPolicy::kWFC, set_kind);
+  }
+  const auto predictor_sweep = runner.run(predictor_spec);
+
+  experiment::ResultTable ablation2(
       "Ablation 2: direction predictor (WFC IPC normalized to baseline)",
       {"bimodal", "gshare", "perceptron"});
-  for (const auto& name : reps) {
-    const auto profile = workloads::profile_by_name(name);
+  for (std::size_t p = 0; p < reps.size(); ++p) {
     std::vector<double> row;
-    for (auto kind : {predictor::DirectionKind::kBimodal,
-                      predictor::DirectionKind::kGshare,
-                      predictor::DirectionKind::kPerceptron}) {
-      auto base_config = sim::skylake_config(shadow::CommitPolicy::kBaseline);
-      auto wfc_config = sim::skylake_config(shadow::CommitPolicy::kWFC);
-      base_config.predictor.direction.kind = kind;
-      wfc_config.predictor.direction.kind = kind;
-      const auto base =
-          workloads::run_workload(profile, base_config, kInstrsPerRun);
-      const auto wfc =
-          workloads::run_workload(profile, wfc_config, kInstrsPerRun);
-      row.push_back(base.ipc == 0 ? 0 : wfc.ipc / base.ipc);
+    for (std::size_t k = 0; k < 3; ++k) {
+      const double base_ipc = predictor_sweep.at(p, 2 * k).ipc;
+      const double wfc_ipc = predictor_sweep.at(p, 2 * k + 1).ipc;
+      row.push_back(base_ipc == 0 ? 0 : wfc_ipc / base_ipc);
     }
-    benchutil::print_row(name, row);
+    ablation2.add_row(reps[p], row);
   }
+  ablation2.print(stdout);
   std::printf("(SafeSpec's relative cost is stable across predictor\n"
               " flavours — the defense makes no predictor assumptions)\n");
 
   // ---- 3: Meltdown vs retirement latency -------------------------------------
+  const std::vector<int> delays = {0, 1, 2, 3, 4, 8};
+  std::vector<attacks::AttackOutcome> outcomes(delays.size());
+  runner.parallel_for(delays.size(), [&](std::size_t i) {
+    outcomes[i] = attacks::run_meltdown_with_delay(
+        shadow::CommitPolicy::kBaseline, 0x7E, delays[i]);
+  });
   std::printf("\nAblation 3: Meltdown on the *baseline* vs commit_delay\n");
   std::printf("%-14s %8s\n", "commit_delay", "leaks?");
-  for (int delay : {0, 1, 2, 3, 4, 8}) {
-    const auto out = attacks::run_meltdown_with_delay(
-        shadow::CommitPolicy::kBaseline, 0x7E, delay);
-    std::printf("%-14d %8s\n", delay, out.leaked ? "LEAK" : "no");
+  for (std::size_t i = 0; i < delays.size(); ++i) {
+    std::printf("%-14d %8s\n", delays[i],
+                outcomes[i].leaked ? "LEAK" : "no");
   }
   std::printf("(the transmit chain is ~3 cycles deep; once the\n"
               " writeback-to-retire gap covers it, the race is won —\n"
               " this is the P1 window real retirement pipelines expose)\n");
+
+  experiment::write_files({&ablation1, &ablation2}, opts);
   return 0;
 }

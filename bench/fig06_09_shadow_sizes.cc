@@ -6,34 +6,21 @@
 // percentile of the occupancy distribution. Expected shape: small
 // requirements everywhere (tens of entries), WFB <= WFC, shadow d-cache
 // occasionally approaching the LDQ bound.
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
+#include "common/stats.h"
+#include "experiment/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
-  using benchutil::kInstrsPerRun;
+  const auto opts = experiment::parse_bench_args(argc, argv);
 
-  struct Row {
-    std::string name;
-    sim::SimResult wfc;
-    sim::SimResult wfb;
-  };
-  std::vector<Row> rows;
-  for (const auto& profile : workloads::spec2017_profiles()) {
-    Row row;
-    row.name = profile.name;
-    row.wfc = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
-        kInstrsPerRun);
-    row.wfb = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFB),
-        kInstrsPerRun);
-    rows.push_back(row);
-  }
+  experiment::ExperimentSpec spec;
+  spec.all_spec_profiles()
+      .policy(shadow::CommitPolicy::kWFC)
+      .policy(shadow::CommitPolicy::kWFB)
+      .instrs(opts.instrs);
+  const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
 
   const struct {
     const char* title;
@@ -49,19 +36,26 @@ int main() {
        &sim::SimResult::shadow_dtlb_p9999},
   };
 
+  const auto& profiles = spec.profile_axis();
+  std::vector<experiment::ResultTable> tables;
   for (const auto& fig : figures) {
-    benchutil::print_header(fig.title, {"WFC", "WFB"});
-    double sum_wfc = 0, sum_wfb = 0;
-    for (const auto& row : rows) {
-      const double wfc = static_cast<double>(row.wfc.*(fig.field));
-      const double wfb = static_cast<double>(row.wfb.*(fig.field));
-      benchutil::print_row(row.name, {wfc, wfb}, "%12.0f");
-      sum_wfc += wfc;
-      sum_wfb += wfb;
+    experiment::ResultTable table(fig.title, {"WFC", "WFB"});
+    std::vector<double> wfc_values, wfb_values;
+    for (std::size_t p = 0; p < profiles.size(); ++p) {
+      const double wfc = static_cast<double>(sweep.at(p, 0).*(fig.field));
+      const double wfb = static_cast<double>(sweep.at(p, 1).*(fig.field));
+      table.add_row(profiles[p].name, {wfc, wfb}, "%12.0f");
+      wfc_values.push_back(wfc);
+      wfb_values.push_back(wfb);
     }
-    benchutil::print_row("Average",
-                         {sum_wfc / rows.size(), sum_wfb / rows.size()},
-                         "%12.1f");
+    table.add_row("Average",
+                  {arithmetic_mean(wfc_values), arithmetic_mean(wfb_values)},
+                  "%12.1f");
+    tables.push_back(std::move(table));
   }
+
+  std::vector<const experiment::ResultTable*> refs;
+  for (const auto& t : tables) refs.push_back(&t);
+  experiment::emit_tables(refs, opts);
   return 0;
 }

@@ -1,35 +1,37 @@
 // Figure 11: IPC of SafeSpec (WFC, worst-case-sized shadow structures)
 // normalised to the insecure baseline, per benchmark, plus the geometric
 // mean. Paper shape: near 1.0 everywhere with a small geomean gain.
-#include <cstdio>
+#include <optional>
 #include <vector>
 
-#include "bench_util.h"
 #include "common/stats.h"
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
+#include "experiment/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
-  using benchutil::kInstrsPerRun;
+  const auto opts = experiment::parse_bench_args(argc, argv);
 
-  benchutil::print_header(
+  experiment::ExperimentSpec spec;
+  spec.all_spec_profiles()
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(opts.instrs);
+  const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
+
+  experiment::ResultTable table(
       "Fig 11: IPC relative to non-secure OoO execution (WFC / baseline)",
       {"base IPC", "WFC IPC", "normalized"});
-
   std::vector<double> normalized;
-  for (const auto& profile : workloads::spec2017_profiles()) {
-    const auto base = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kBaseline),
-        kInstrsPerRun);
-    const auto wfc = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
-        kInstrsPerRun);
+  const auto& profiles = spec.profile_axis();
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const auto& base = sweep.at(p, 0);
+    const auto& wfc = sweep.at(p, 1);
     const double norm = base.ipc == 0 ? 0 : wfc.ipc / base.ipc;
     normalized.push_back(norm);
-    benchutil::print_row(profile.name, {base.ipc, wfc.ipc, norm});
+    table.add_row(profiles[p].name, {base.ipc, wfc.ipc, norm});
   }
-  std::printf("%-12s %12s %12s %12.4f\n", "GeoMean", "", "",
-              geometric_mean(normalized));
+  table.add_partial_row("GeoMean", {std::nullopt, std::nullopt,
+                                    geometric_mean(normalized)});
+  experiment::emit_tables({&table}, opts);
   return 0;
 }

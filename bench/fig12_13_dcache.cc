@@ -2,57 +2,47 @@
 // baseline (paper shape: nearly identical bars).
 // Figure 13: percentage of read hits served by the shadow d-cache under
 // WFC (paper shape: small — the d-cache has limited spatial locality).
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
+#include "common/stats.h"
+#include "experiment/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
-  using benchutil::kInstrsPerRun;
+  const auto opts = experiment::parse_bench_args(argc, argv);
 
-  struct Row {
-    std::string name;
-    sim::SimResult base;
-    sim::SimResult wfc;
-  };
-  std::vector<Row> rows;
-  for (const auto& profile : workloads::spec2017_profiles()) {
-    Row row;
-    row.name = profile.name;
-    row.base = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kBaseline),
-        kInstrsPerRun);
-    row.wfc = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
-        kInstrsPerRun);
-    rows.push_back(row);
-  }
+  experiment::ExperimentSpec spec;
+  spec.all_spec_profiles()
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(opts.instrs);
+  const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
+  const auto& profiles = spec.profile_axis();
 
-  benchutil::print_header(
+  experiment::ResultTable fig12(
       "Fig 12: d-cache read miss rate (including shadow d-cache)",
       {"WFC", "baseline"});
-  double sum_wfc = 0, sum_base = 0;
-  for (const auto& row : rows) {
-    const double wfc = row.wfc.dcache_miss_rate_incl_shadow();
-    const double base = row.base.dcache_miss_rate_incl_shadow();
-    benchutil::print_row(row.name, {wfc, base});
-    sum_wfc += wfc;
-    sum_base += base;
+  std::vector<double> wfc_rates, base_rates;
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const double wfc = sweep.at(p, 1).dcache_miss_rate_incl_shadow();
+    const double base = sweep.at(p, 0).dcache_miss_rate_incl_shadow();
+    fig12.add_row(profiles[p].name, {wfc, base});
+    wfc_rates.push_back(wfc);
+    base_rates.push_back(base);
   }
-  benchutil::print_row("Average",
-                       {sum_wfc / rows.size(), sum_base / rows.size()});
+  fig12.add_row("Average",
+                {arithmetic_mean(wfc_rates), arithmetic_mean(base_rates)});
 
-  benchutil::print_header("Fig 13: percentage of hits on shadow d-cache (WFC)",
-                          {"% of hits"});
-  double sum = 0;
-  for (const auto& row : rows) {
-    const double pct = 100.0 * row.wfc.shadow_dcache_hit_fraction();
-    benchutil::print_row(row.name, {pct}, "%12.2f");
-    sum += pct;
+  experiment::ResultTable fig13(
+      "Fig 13: percentage of hits on shadow d-cache (WFC)", {"% of hits"});
+  std::vector<double> pcts;
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const double pct = 100.0 * sweep.at(p, 1).shadow_dcache_hit_fraction();
+    fig13.add_row(profiles[p].name, {pct}, "%12.2f");
+    pcts.push_back(pct);
   }
-  benchutil::print_row("Average", {sum / rows.size()}, "%12.2f");
+  fig13.add_row("Average", {arithmetic_mean(pcts)}, "%12.2f");
+
+  experiment::emit_tables({&fig12, &fig13}, opts);
   return 0;
 }

@@ -4,31 +4,34 @@
 // i-cache (loads issue later in the pipeline, so a shadowed d-line is
 // more likely to belong to an instruction that commits), and both well
 // below 1 (the shadow filters plenty of wrong-path state).
-#include <cstdio>
 #include <vector>
 
-#include "bench_util.h"
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
+#include "common/stats.h"
+#include "experiment/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
-  using benchutil::kInstrsPerRun;
+  const auto opts = experiment::parse_bench_args(argc, argv);
 
-  benchutil::print_header("Fig 16: commit rate of shadow state (WFC)",
-                          {"i-cache", "d-cache"});
-  double sum_i = 0, sum_d = 0;
-  int n = 0;
-  for (const auto& profile : workloads::spec2017_profiles()) {
-    const auto wfc = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
-        kInstrsPerRun);
-    benchutil::print_row(profile.name, {wfc.shadow_icache_commit_rate,
-                                        wfc.shadow_dcache_commit_rate});
-    sum_i += wfc.shadow_icache_commit_rate;
-    sum_d += wfc.shadow_dcache_commit_rate;
-    ++n;
+  experiment::ExperimentSpec spec;
+  spec.all_spec_profiles()
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(opts.instrs);
+  const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
+  const auto& profiles = spec.profile_axis();
+
+  experiment::ResultTable table("Fig 16: commit rate of shadow state (WFC)",
+                                {"i-cache", "d-cache"});
+  std::vector<double> i_rates, d_rates;
+  for (std::size_t p = 0; p < profiles.size(); ++p) {
+    const auto& wfc = sweep.at(p, 0);
+    table.add_row(profiles[p].name, {wfc.shadow_icache_commit_rate,
+                                     wfc.shadow_dcache_commit_rate});
+    i_rates.push_back(wfc.shadow_icache_commit_rate);
+    d_rates.push_back(wfc.shadow_dcache_commit_rate);
   }
-  benchutil::print_row("Average", {sum_i / n, sum_d / n});
+  table.add_row("Average",
+                {arithmetic_mean(i_rates), arithmetic_mean(d_rates)});
+  experiment::emit_tables({&table}, opts);
   return 0;
 }

@@ -5,6 +5,7 @@
 // keep the sweep benches fast and to catch performance regressions.
 #include <benchmark/benchmark.h>
 
+#include "experiment/experiment.h"
 #include "isa/program.h"
 #include "memory/cache.h"
 #include "memory/tlb.h"
@@ -111,6 +112,27 @@ void BM_CoreSimulationRate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoreSimulationRate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+/// Whole-sweep wall clock through the experiment engine: an 8-cell grid
+/// (4 profiles x {baseline, WFC}) run with the given thread count. The
+/// arg sweep shows the parallel runner's scaling on the host (items/s is
+/// cells per second); results are bitwise identical across thread counts.
+void BM_ParallelSweep(benchmark::State& state) {
+  experiment::ExperimentSpec spec;
+  spec.profile_names({"exchange2", "x264", "deepsjeng", "namd"})
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(10'000);
+  const experiment::ParallelRunner runner(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    const auto sweep = runner.run(spec);
+    benchmark::DoNotOptimize(sweep.flat().data());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<std::int64_t>(sweep.flat().size()));
+  }
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

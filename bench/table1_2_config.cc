@@ -2,12 +2,43 @@
 // configuration exactly as the evaluation uses it.
 #include <cstdio>
 
-#include "sim/sim_config.h"
+#include "experiment/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
+  const auto opts = experiment::parse_bench_args(argc, argv);
+
   std::printf("=== Tables I & II: simulated CPU configuration ===\n\n");
-  const auto config = sim::skylake_config(shadow::CommitPolicy::kWFC);
-  std::printf("%s\n", sim::describe_config(config).c_str());
+  const auto variant = experiment::policy_variant(shadow::CommitPolicy::kWFC);
+  const auto& c = variant.config;
+  std::printf("%s\n", sim::describe_config(c).c_str());
+
+  if (!opts.csv_path.empty() || !opts.json_path.empty()) {
+    experiment::ResultTable table("Tables I & II: simulated configuration",
+                                  {"value"});
+    const struct {
+      const char* name;
+      double value;
+    } params[] = {
+        {"issue_width", static_cast<double>(c.issue_width)},
+        {"iq_entries", static_cast<double>(c.iq_entries)},
+        {"rob_entries", static_cast<double>(c.rob_entries)},
+        {"ldq_entries", static_cast<double>(c.ldq_entries)},
+        {"stq_entries", static_cast<double>(c.stq_entries)},
+        {"itlb_entries", static_cast<double>(c.itlb.entries)},
+        {"dtlb_entries", static_cast<double>(c.dtlb.entries)},
+        {"l1i_kb", c.hierarchy.l1i.size_bytes / 1024.0},
+        {"l1d_kb", c.hierarchy.l1d.size_bytes / 1024.0},
+        {"l2_kb", c.hierarchy.l2.size_bytes / 1024.0},
+        {"l3_kb", c.hierarchy.l3.size_bytes / 1024.0},
+        {"memory_latency", static_cast<double>(c.hierarchy.memory_latency)},
+        {"shadow_dcache", static_cast<double>(c.shadow_dcache.entries)},
+        {"shadow_icache", static_cast<double>(c.shadow_icache.entries)},
+        {"shadow_dtlb", static_cast<double>(c.shadow_dtlb.entries)},
+        {"shadow_itlb", static_cast<double>(c.shadow_itlb.entries)},
+    };
+    for (const auto& p : params) table.add_row(p.name, {p.value}, "%12.0f");
+    experiment::write_files({&table}, opts);
+  }
   return 0;
 }

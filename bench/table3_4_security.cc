@@ -6,9 +6,15 @@
 // (Table IV) additionally demonstrates the §V sizing argument: the TSA
 // channel opens on an undersized shadow and closes under worst-case
 // ("Secure") sizing for both full-handling policies.
+//
+// Each attack suite and TSA configuration is an independent cell (own
+// simulator), so the whole evaluation fans out across the experiment
+// engine's thread pool; printing stays serial and deterministic.
 #include <cstdio>
+#include <vector>
 
 #include "attacks/attacks.h"
+#include "experiment/experiment.h"
 
 namespace {
 
@@ -16,15 +22,37 @@ const char* mark(bool stopped) { return stopped ? "YES" : "no "; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
   using attacks::AttackOutcome;
   using shadow::CommitPolicy;
 
+  const auto opts = experiment::parse_bench_args(argc, argv);
+  const experiment::ParallelRunner runner(opts.threads);
+
   std::printf("Running attack suite under baseline / WFB / WFC...\n");
-  const auto base = attacks::run_all_attacks(CommitPolicy::kBaseline);
-  const auto wfb = attacks::run_all_attacks(CommitPolicy::kWFB);
-  const auto wfc = attacks::run_all_attacks(CommitPolicy::kWFC);
+  const CommitPolicy policies[] = {CommitPolicy::kBaseline, CommitPolicy::kWFB,
+                                   CommitPolicy::kWFC};
+  std::vector<std::vector<AttackOutcome>> suites(3);
+  runner.parallel_for(
+      3, [&](std::size_t i) { suites[i] = attacks::run_all_attacks(policies[i]); });
+  const auto& base = suites[0];
+  const auto& wfb = suites[1];
+  const auto& wfc = suites[2];
+
+  // TSA cells: the §V sizing ablation grid, run concurrently. The
+  // worst-case-sized "Secure" rows (72 entries, drop/stall) are the
+  // grid's last two cells — no need to run them twice.
+  std::vector<attacks::TsaConfig> tsa_configs;
+  for (int entries : {4, 8, 16, 32, 72}) {
+    for (auto fp : {shadow::FullPolicy::kDrop, shadow::FullPolicy::kStall}) {
+      tsa_configs.push_back({CommitPolicy::kWFC, entries, fp});
+    }
+  }
+  std::vector<attacks::TsaOutcome> tsa_outcomes(tsa_configs.size());
+  runner.parallel_for(tsa_configs.size(), [&](std::size_t i) {
+    tsa_outcomes[i] = attacks::run_tsa_attack(tsa_configs[i]);
+  });
 
   std::printf("\n=== Attack outcomes (leaked secret vs planted) ===\n");
   std::printf("%-12s %-9s %-8s %-10s %s\n", "attack", "policy", "leaked",
@@ -57,12 +85,8 @@ int main() {
               mark(!wfb[5].leaked));
 
   // Transient row: secure sizing closes the channel (both full policies).
-  attacks::TsaConfig secure_drop{CommitPolicy::kWFC, 72,
-                                 shadow::FullPolicy::kDrop};
-  attacks::TsaConfig secure_stall{CommitPolicy::kWFC, 72,
-                                  shadow::FullPolicy::kStall};
-  const auto tsa_drop = attacks::run_tsa_attack(secure_drop);
-  const auto tsa_stall = attacks::run_tsa_attack(secure_stall);
+  const auto& tsa_drop = tsa_outcomes[tsa_outcomes.size() - 2];
+  const auto& tsa_stall = tsa_outcomes[tsa_outcomes.size() - 1];
   std::printf("%-14s %8s %8s   (worst-case sizing; drop/stall)\n",
               "Transient", mark(!tsa_drop.leaked), mark(!tsa_stall.leaked));
 
@@ -71,16 +95,63 @@ int main() {
       "\n=== TSA sizing ablation (WFC, shadow d-cache entries swept) ===\n");
   std::printf("%-8s %-7s %10s %14s %14s %8s\n", "entries", "policy",
               "bit leaked", "probe(bit0)", "probe(bit1)", "leaks?");
-  for (int entries : {4, 8, 16, 32, 72}) {
-    for (auto fp : {shadow::FullPolicy::kDrop, shadow::FullPolicy::kStall}) {
-      attacks::TsaConfig config{CommitPolicy::kWFC, entries, fp};
-      const auto out = attacks::run_tsa_attack(config);
-      std::printf("%-8d %-7s %10d %14llu %14llu %8s\n", entries,
-                  shadow::to_string(fp), out.recovered_bit,
-                  static_cast<unsigned long long>(out.probe_latency_bit0),
-                  static_cast<unsigned long long>(out.probe_latency_bit1),
-                  out.leaked ? "LEAK" : "closed");
+  for (std::size_t i = 0; i < tsa_configs.size(); ++i) {
+    const auto& config = tsa_configs[i];
+    const auto& out = tsa_outcomes[i];
+    std::printf("%-8d %-7s %10d %14llu %14llu %8s\n", config.shadow_entries,
+                shadow::to_string(config.full_policy), out.recovered_bit,
+                static_cast<unsigned long long>(out.probe_latency_bit0),
+                static_cast<unsigned long long>(out.probe_latency_bit1),
+                out.leaked ? "LEAK" : "closed");
+  }
+
+  if (!opts.csv_path.empty() || !opts.json_path.empty()) {
+    experiment::ResultTable stopped(
+        "Tables III/IV: attack stopped (1=stopped)", {"WFC", "WFB"});
+    const struct {
+      const char* name;
+      bool wfc_stopped;
+      bool wfb_stopped;
+    } rows[] = {
+        {"Meltdown", !wfc[2].leaked, !wfb[2].leaked},
+        {"Spectre 1/2", !wfc[0].leaked && !wfc[1].leaked,
+         !wfb[0].leaked && !wfb[1].leaked},
+        {"I-cache", !wfc[3].leaked, !wfb[3].leaked},
+        {"I-TLB", !wfc[4].leaked, !wfb[4].leaked},
+        {"D-TLB", !wfc[5].leaked, !wfb[5].leaked},
+    };
+    for (const auto& row : rows) {
+      stopped.add_row(row.name, {row.wfc_stopped ? 1.0 : 0.0,
+                                 row.wfb_stopped ? 1.0 : 0.0},
+                      "%12.0f");
     }
+    // Both Transient cells are WFC under worst-case sizing (they differ
+    // only in full policy), so they get their own labelled table rather
+    // than being squeezed into the WFC/WFB columns.
+    experiment::ResultTable transient(
+        "Transient attack stopped under worst-case sizing (1=stopped)",
+        {"drop", "stall"});
+    transient.add_row("Transient", {tsa_drop.leaked ? 0.0 : 1.0,
+                                    tsa_stall.leaked ? 0.0 : 1.0},
+                      "%12.0f");
+
+    experiment::ResultTable ablation(
+        "TSA sizing ablation (WFC, shadow d-cache entries swept)",
+        {"entries", "bit leaked", "probe(bit0)", "probe(bit1)", "leaks"});
+    for (std::size_t i = 0; i < tsa_configs.size(); ++i) {
+      const auto& config = tsa_configs[i];
+      const auto& out = tsa_outcomes[i];
+      ablation.add_row(
+          std::string(shadow::to_string(config.full_policy)) + "-" +
+              std::to_string(config.shadow_entries),
+          {static_cast<double>(config.shadow_entries),
+           static_cast<double>(out.recovered_bit),
+           static_cast<double>(out.probe_latency_bit0),
+           static_cast<double>(out.probe_latency_bit1),
+           out.leaked ? 1.0 : 0.0},
+          "%12.0f");
+    }
+    experiment::write_files({&stopped, &transient, &ablation}, opts);
   }
   return 0;
 }

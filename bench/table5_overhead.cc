@@ -11,24 +11,25 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "bench_util.h"
+#include "experiment/experiment.h"
 #include "model/cacti_lite.h"
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace safespec;
-  using benchutil::kInstrsPerRun;
+  const auto opts = experiment::parse_bench_args(argc, argv);
 
   // Measure the 99.99% sizing across the suite (max over benchmarks), as
   // §VI-C derives the WFC row from the Fig 6-9 data.
   std::printf("Measuring 99.99%% shadow occupancies across SPEC2017-like "
               "suite...\n");
+  experiment::ExperimentSpec spec;
+  spec.all_spec_profiles()
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(opts.instrs);
+  const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
+
   model::ShadowSizing wfc_sizing{1, 1, 1, 1};
-  for (const auto& profile : workloads::spec2017_profiles()) {
-    const auto r = workloads::run_workload(
-        profile, sim::skylake_config(shadow::CommitPolicy::kWFC),
-        kInstrsPerRun);
+  for (const auto& r : sweep.flat()) {
     wfc_sizing.dcache_entries = std::max<int>(
         wfc_sizing.dcache_entries, static_cast<int>(r.shadow_dcache_p9999));
     wfc_sizing.icache_entries = std::max<int>(
@@ -64,6 +65,20 @@ int main() {
     std::printf("  %-14s %8.2f mW %8.4f mm2 %6.2f ns\n", s.name.c_str(),
                 s.estimate.total_mw(), s.estimate.area_mm2,
                 s.estimate.access_ns);
+  }
+
+  // CSV/JSON trajectory: the overhead table itself.
+  if (!opts.csv_path.empty() || !opts.json_path.empty()) {
+    experiment::ResultTable table(
+        "Table V: SafeSpec hardware overhead at 40nm",
+        {"power_mw", "power_pct", "area_mm2", "area_pct"});
+    table.add_row("Secure",
+                  {secure_report.total_power_mw, secure_report.power_percent,
+                   secure_report.total_area_mm2, secure_report.area_percent});
+    table.add_row("WFC",
+                  {wfc_report.total_power_mw, wfc_report.power_percent,
+                   wfc_report.total_area_mm2, wfc_report.area_percent});
+    experiment::write_files({&table}, opts);
   }
   return 0;
 }

@@ -1,48 +1,60 @@
-// Workload explorer: run any of the 21 SPEC2017-like profiles under any
-// protection policy and dump the microarchitectural statistics the
-// figures are built from.
+// Workload explorer: run any of the 22 SPEC2017-like profiles under any
+// protection policy (a one-cell experiment through the same engine the
+// figure benches sweep with) and dump the microarchitectural statistics
+// the figures are built from.
 //
 //   $ ./examples/workload_explorer                 # list profiles
 //   $ ./examples/workload_explorer mcf wfc 100000  # run one
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
-#include "sim/sim_config.h"
-#include "workloads/runner.h"
+#include "experiment/experiment.h"
 
 int main(int argc, char** argv) {
   using namespace safespec;
+  const auto opts = experiment::parse_bench_args(
+      argc, argv, "[profile [baseline|wfb|wfc] [instrs]]");
 
-  if (argc < 2) {
+  if (opts.positional.empty()) {
     std::printf("usage: %s <profile> [baseline|wfb|wfc] [instrs]\n\n",
                 argv[0]);
     std::printf("profiles:");
-    for (const auto& p : workloads::spec2017_profiles()) {
-      std::printf(" %s", p.name.c_str());
+    for (const auto& name : workloads::spec2017_profile_names()) {
+      std::printf(" %s", name.c_str());
     }
     std::printf("\n");
     return 0;
   }
 
   shadow::CommitPolicy policy = shadow::CommitPolicy::kWFC;
-  if (argc > 2) {
-    if (std::strcmp(argv[2], "baseline") == 0) {
+  if (opts.positional.size() > 1) {
+    if (opts.positional[1] == "baseline") {
       policy = shadow::CommitPolicy::kBaseline;
-    } else if (std::strcmp(argv[2], "wfb") == 0) {
+    } else if (opts.positional[1] == "wfb") {
       policy = shadow::CommitPolicy::kWFB;
     }
   }
-  const std::uint64_t instrs = argc > 3
-                                   ? std::strtoull(argv[3], nullptr, 10)
-                                   : 60'000;
+  const std::uint64_t instrs =
+      opts.positional.size() > 2
+          ? std::strtoull(opts.positional[2].c_str(), nullptr, 10)
+          : opts.instrs;
 
-  const auto profile = workloads::profile_by_name(argv[1]);
+  experiment::ExperimentSpec spec;
+  try {
+    spec.profile_names({opts.positional[0]});
+  } catch (const std::out_of_range& e) {
+    std::fprintf(stderr, "%s (run with no arguments to list profiles)\n",
+                 e.what());
+    return 1;
+  }
+  spec.policy(policy).instrs(instrs);
   std::printf("running %s under %s for ~%llu instructions...\n",
-              profile.name.c_str(), shadow::to_string(policy),
+              spec.profile_axis()[0].name.c_str(), shadow::to_string(policy),
               static_cast<unsigned long long>(instrs));
-  const auto r = workloads::run_workload(profile,
-                                         sim::skylake_config(policy), instrs);
+  const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
+  const auto& r = sweep.at(0, 0);
 
   std::printf("\ncommitted instrs     %llu\n",
               static_cast<unsigned long long>(r.committed_instrs));
@@ -71,6 +83,15 @@ int main(int argc, char** argv) {
     std::printf("shadow TLBs          iTLB-p99.99=%llu dTLB-p99.99=%llu\n",
                 static_cast<unsigned long long>(r.shadow_itlb_p9999),
                 static_cast<unsigned long long>(r.shadow_dtlb_p9999));
+  }
+
+  if (!opts.csv_path.empty() || !opts.json_path.empty()) {
+    experiment::ResultTable table(
+        "workload_explorer", {"ipc", "dcache_miss_rate", "icache_miss_rate"});
+    table.add_row(spec.profile_axis()[0].name,
+                  {r.ipc, r.dcache_miss_rate_incl_shadow(),
+                   r.icache_miss_rate_incl_shadow()});
+    experiment::write_files({&table}, opts);
   }
   return 0;
 }

@@ -18,6 +18,10 @@ class Counter {
   std::uint64_t value() const { return value_; }
   void reset() { value_ = 0; }
 
+  /// Folds another counter in (aggregating per-cell statistics after a
+  /// parallel sweep).
+  void merge(const Counter& other) { value_ += other.value_; }
+
  private:
   std::uint64_t value_ = 0;
 };
@@ -39,6 +43,10 @@ struct HitMiss {
   void reset() {
     hits.reset();
     misses.reset();
+  }
+  void merge(const HitMiss& other) {
+    hits.merge(other.hits);
+    misses.merge(other.misses);
   }
 };
 
@@ -81,6 +89,18 @@ class Histogram {
     max_ = 0;
   }
 
+  /// Folds another histogram in bucket-wise; percentiles of the merged
+  /// histogram equal those of the concatenated sample streams.
+  void merge(const Histogram& other) {
+    if (other.buckets_.size() > buckets_.size())
+      buckets_.resize(other.buckets_.size(), 0);
+    for (std::size_t v = 0; v < other.buckets_.size(); ++v)
+      buckets_[v] += other.buckets_[v];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+
  private:
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
@@ -102,5 +122,9 @@ class StatSet {
 /// Geometric mean of a vector of positive values (used for Fig 11's
 /// normalized-IPC summary). Returns 0 for an empty input.
 double geometric_mean(const std::vector<double>& values);
+
+/// Arithmetic mean (the figures' "Average" summary row). Returns 0 for an
+/// empty input.
+double arithmetic_mean(const std::vector<double>& values);
 
 }  // namespace safespec

@@ -1,0 +1,348 @@
+#include "experiment/experiment.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "workloads/runner.h"
+
+namespace safespec::experiment {
+
+// ---- spec -------------------------------------------------------------------
+
+ConfigVariant policy_variant(
+    shadow::CommitPolicy policy,
+    const std::function<void(cpu::CoreConfig&)>& mutate) {
+  ConfigVariant v{shadow::to_string(policy), sim::skylake_config(policy)};
+  if (mutate) mutate(v.config);
+  return v;
+}
+
+ExperimentSpec& ExperimentSpec::profiles(
+    std::vector<workloads::WorkloadProfile> p) {
+  profiles_ = std::move(p);
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::all_spec_profiles() {
+  return profiles(workloads::spec2017_profiles());
+}
+
+ExperimentSpec& ExperimentSpec::profile_names(
+    const std::vector<std::string>& names) {
+  std::vector<workloads::WorkloadProfile> selected;
+  selected.reserve(names.size());
+  for (const auto& name : names) {
+    selected.push_back(workloads::profile_by_name(name));
+  }
+  return profiles(std::move(selected));
+}
+
+ExperimentSpec& ExperimentSpec::variant(ConfigVariant v) {
+  variants_.push_back(std::move(v));
+  return *this;
+}
+
+ExperimentSpec& ExperimentSpec::policy(
+    shadow::CommitPolicy p,
+    const std::function<void(cpu::CoreConfig&)>& mutate) {
+  return variant(policy_variant(p, mutate));
+}
+
+ExperimentSpec& ExperimentSpec::instrs(std::uint64_t n) {
+  instrs_ = n;
+  return *this;
+}
+
+std::vector<Cell> ExperimentSpec::expand() const {
+  std::vector<Cell> cells;
+  cells.reserve(profiles_.size() * variants_.size());
+  for (std::size_t p = 0; p < profiles_.size(); ++p) {
+    for (std::size_t v = 0; v < variants_.size(); ++v) {
+      Cell cell;
+      cell.index = cells.size();
+      cell.profile_index = p;
+      cell.variant_index = v;
+      cell.profile = profiles_[p];
+      cell.config = variants_[v].config;
+      cell.instrs = instrs_;
+      cells.push_back(std::move(cell));
+    }
+  }
+  return cells;
+}
+
+// ---- runner -----------------------------------------------------------------
+
+sim::SimResult run_cell(const Cell& cell) {
+  return workloads::run_workload(cell.profile, cell.config, cell.instrs);
+}
+
+ParallelRunner::ParallelRunner(int threads) : threads_(threads) {
+  if (threads_ <= 0) {
+    threads_ = static_cast<int>(std::thread::hardware_concurrency());
+    if (threads_ <= 0) threads_ = 1;
+  }
+}
+
+void ParallelRunner::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& fn) const {
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(threads_), n);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(worker);
+  for (auto& thread : pool) thread.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<sim::SimResult> ParallelRunner::run_cells(
+    const std::vector<Cell>& cells) const {
+  std::vector<sim::SimResult> results(cells.size());
+  parallel_for(cells.size(),
+               [&](std::size_t i) { results[i] = run_cell(cells[i]); });
+  return results;
+}
+
+SweepResult ParallelRunner::run(const ExperimentSpec& spec) const {
+  return SweepResult(spec.profile_axis().size(), spec.variant_axis().size(),
+                     run_cells(spec.expand()));
+}
+
+// ---- result table -----------------------------------------------------------
+
+namespace {
+
+std::string format_value(double value, const char* format) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), format, value);
+  return buf;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ResultTable::add_row(const std::string& name,
+                          const std::vector<double>& values,
+                          const char* format) {
+  Row row;
+  row.name = name;
+  for (double v : values) row.cells.push_back({format_value(v, format), v});
+  rows_.push_back(std::move(row));
+}
+
+void ResultTable::add_partial_row(
+    const std::string& name, const std::vector<std::optional<double>>& values,
+    const char* format) {
+  Row row;
+  row.name = name;
+  for (const auto& v : values) {
+    if (v) {
+      row.cells.push_back({format_value(*v, format), v});
+    } else {
+      row.cells.push_back({std::string(12, ' '), std::nullopt});
+    }
+  }
+  rows_.push_back(std::move(row));
+}
+
+void ResultTable::print(std::FILE* out) const {
+  std::fprintf(out, "\n%s\n", title_.c_str());
+  std::fprintf(out, "%-12s", "benchmark");
+  for (const auto& c : columns_) std::fprintf(out, " %12s", c.c_str());
+  std::fprintf(out, "\n");
+  for (std::size_t i = 0; i < 12 + columns_.size() * 13; ++i)
+    std::fprintf(out, "-");
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) {
+    std::fprintf(out, "%-12s", row.name.c_str());
+    for (const auto& cell : row.cells)
+      std::fprintf(out, " %s", cell.text.c_str());
+    std::fprintf(out, "\n");
+  }
+}
+
+void ResultTable::append_csv(std::FILE* out) const {
+  std::fprintf(out, "table,benchmark");
+  for (const auto& c : columns_)
+    std::fprintf(out, ",%s", csv_escape(c).c_str());
+  std::fprintf(out, "\n");
+  for (const auto& row : rows_) {
+    std::fprintf(out, "%s,%s", csv_escape(title_).c_str(),
+                 csv_escape(row.name).c_str());
+    for (const auto& cell : row.cells) {
+      if (cell.value) {
+        std::fprintf(out, ",%.17g", *cell.value);
+      } else {
+        std::fprintf(out, ",");
+      }
+    }
+    std::fprintf(out, "\n");
+  }
+}
+
+void ResultTable::append_json(std::vector<std::string>& items) const {
+  for (const auto& row : rows_) {
+    std::string obj = "{\"table\":\"" + json_escape(title_) +
+                      "\",\"row\":\"" + json_escape(row.name) + "\"";
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      const std::string key =
+          c < columns_.size() ? columns_[c] : "col" + std::to_string(c);
+      obj += ",\"" + json_escape(key) + "\":";
+      // nan/inf are not valid JSON tokens — emit null instead.
+      if (row.cells[c].value && std::isfinite(*row.cells[c].value)) {
+        obj += format_value(*row.cells[c].value, "%.17g");
+      } else {
+        obj += "null";
+      }
+    }
+    obj += "}";
+    items.push_back(std::move(obj));
+  }
+}
+
+// ---- CLI --------------------------------------------------------------------
+
+namespace {
+
+void print_usage(const char* prog, const char* extra_usage, std::FILE* out) {
+  std::fprintf(out,
+               "usage: %s [--threads=N] [--csv=PATH] [--json=PATH] "
+               "[--instrs=N]%s%s\n"
+               "  --threads=N  worker threads for the sweep "
+               "(default: hardware concurrency)\n"
+               "  --csv=PATH   also write every table as CSV\n"
+               "  --json=PATH  also write every table as JSON\n"
+               "  --instrs=N   committed instructions per cell "
+               "(default %llu)\n",
+               prog, extra_usage ? " " : "", extra_usage ? extra_usage : "",
+               static_cast<unsigned long long>(kInstrsPerRun));
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+BenchOptions parse_bench_args(int argc, char** argv,
+                              const char* extra_usage) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      print_usage(argv[0], extra_usage, stdout);
+      std::exit(0);
+    } else if (flag_value(arg, "--threads", &value)) {
+      opts.threads = std::atoi(value);
+    } else if (flag_value(arg, "--csv", &value)) {
+      opts.csv_path = value;
+    } else if (flag_value(arg, "--json", &value)) {
+      opts.json_path = value;
+    } else if (flag_value(arg, "--instrs", &value)) {
+      opts.instrs = std::strtoull(value, nullptr, 10);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      print_usage(argv[0], extra_usage, stderr);
+      std::exit(2);
+    } else {
+      opts.positional.push_back(arg);
+    }
+  }
+  return opts;
+}
+
+void emit_tables(const std::vector<const ResultTable*>& tables,
+                 const BenchOptions& options) {
+  for (const ResultTable* table : tables) table->print(stdout);
+  write_files(tables, options);
+}
+
+void write_files(const std::vector<const ResultTable*>& tables,
+                 const BenchOptions& options) {
+  if (!options.csv_path.empty()) {
+    std::FILE* out = std::fopen(options.csv_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.csv_path.c_str());
+    } else {
+      for (const ResultTable* table : tables) table->append_csv(out);
+      std::fclose(out);
+      std::fprintf(stderr, "wrote CSV to %s\n", options.csv_path.c_str());
+    }
+  }
+  if (!options.json_path.empty()) {
+    std::FILE* out = std::fopen(options.json_path.c_str(), "w");
+    if (!out) {
+      std::fprintf(stderr, "cannot open %s for writing\n",
+                   options.json_path.c_str());
+    } else {
+      std::vector<std::string> items;
+      for (const ResultTable* table : tables) table->append_json(items);
+      std::fprintf(out, "[\n");
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        std::fprintf(out, "  %s%s\n", items[i].c_str(),
+                     i + 1 < items.size() ? "," : "");
+      }
+      std::fprintf(out, "]\n");
+      std::fclose(out);
+      std::fprintf(stderr, "wrote JSON to %s\n", options.json_path.c_str());
+    }
+  }
+}
+
+}  // namespace safespec::experiment

@@ -1,0 +1,222 @@
+// Declarative experiment engine: every figure/table bench is a sweep of
+// workload profiles across named core-configuration variants. The bench
+// declares the grid (ExperimentSpec), the engine expands it into
+// independent cells, runs them on a thread pool (ParallelRunner — one
+// Simulator per cell, nothing shared, results in stable cell order so
+// output is bitwise identical regardless of thread count), and the bench
+// renders rows through ResultTable (aligned text, CSV, JSON).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "safespec/shadow_structures.h"
+#include "sim/sim_config.h"
+#include "sim/simulator.h"
+#include "workloads/workload.h"
+
+namespace safespec::experiment {
+
+/// Committed-instruction budget per cell (formerly bench_util.h). Large
+/// enough that the occupancy/miss-rate distributions stabilise, small
+/// enough that the whole 22-benchmark sweep stays interactive.
+inline constexpr std::uint64_t kInstrsPerRun = 60'000;
+
+// ---- spec -------------------------------------------------------------------
+
+/// One point on the configuration axis: a display name plus the fully
+/// built CoreConfig it stands for.
+struct ConfigVariant {
+  std::string name;
+  cpu::CoreConfig config;
+};
+
+/// skylake_config(policy) under its canonical short name ("baseline" /
+/// "WFB" / "WFC"); `mutate` applies any further CoreConfig edits.
+ConfigVariant policy_variant(
+    shadow::CommitPolicy policy,
+    const std::function<void(cpu::CoreConfig&)>& mutate = nullptr);
+
+/// A fully-resolved grid cell: one workload under one variant. Each
+/// cell is deterministic in isolation — workload generation seeds from
+/// `profile.seed` — so results are independent of which thread runs
+/// which cell.
+struct Cell {
+  std::size_t index = 0;        ///< position in expansion order
+  std::size_t profile_index = 0;
+  std::size_t variant_index = 0;
+  workloads::WorkloadProfile profile;
+  cpu::CoreConfig config;
+  std::uint64_t instrs = kInstrsPerRun;
+};
+
+/// Declarative sweep grid: profiles x variants. Expansion is
+/// profile-major (all variants of one benchmark adjacent), the row order
+/// every figure prints.
+class ExperimentSpec {
+ public:
+  ExperimentSpec& profiles(std::vector<workloads::WorkloadProfile> p);
+  /// All 22 SPEC2017-like profiles in paper order.
+  ExperimentSpec& all_spec_profiles();
+  /// Subset by name (throws std::out_of_range on an unknown name).
+  ExperimentSpec& profile_names(const std::vector<std::string>& names);
+
+  ExperimentSpec& variant(ConfigVariant v);
+  /// Shorthand for variant(policy_variant(policy, mutate)).
+  ExperimentSpec& policy(
+      shadow::CommitPolicy p,
+      const std::function<void(cpu::CoreConfig&)>& mutate = nullptr);
+
+  ExperimentSpec& instrs(std::uint64_t n);
+
+  const std::vector<workloads::WorkloadProfile>& profile_axis() const {
+    return profiles_;
+  }
+  const std::vector<ConfigVariant>& variant_axis() const { return variants_; }
+  std::uint64_t instrs_per_cell() const { return instrs_; }
+
+  /// Expands the grid into cells in stable order: profile-major, variant
+  /// within profile, `index` dense from 0.
+  std::vector<Cell> expand() const;
+
+ private:
+  std::vector<workloads::WorkloadProfile> profiles_;
+  std::vector<ConfigVariant> variants_;
+  std::uint64_t instrs_ = kInstrsPerRun;
+};
+
+// ---- runner -----------------------------------------------------------------
+
+/// Results of a grid sweep, indexed by the spec's two axes.
+class SweepResult {
+ public:
+  SweepResult(std::size_t num_profiles, std::size_t num_variants,
+              std::vector<sim::SimResult> results)
+      : num_profiles_(num_profiles),
+        num_variants_(num_variants),
+        results_(std::move(results)) {}
+
+  const sim::SimResult& at(std::size_t profile, std::size_t variant) const {
+    return results_[profile * num_variants_ + variant];
+  }
+  const std::vector<sim::SimResult>& flat() const { return results_; }
+  std::size_t num_profiles() const { return num_profiles_; }
+  std::size_t num_variants() const { return num_variants_; }
+
+ private:
+  std::size_t num_profiles_;
+  std::size_t num_variants_;
+  std::vector<sim::SimResult> results_;
+};
+
+/// Thread-pool sweep executor. Each cell constructs its own Simulator
+/// (own Program / MainMemory / PageTable — cells share nothing), so runs
+/// are embarrassingly parallel; results land in a pre-sized vector at the
+/// cell's index, making output order (and content — generation is seeded
+/// per cell) independent of thread count.
+class ParallelRunner {
+ public:
+  /// threads == 0 picks std::thread::hardware_concurrency().
+  explicit ParallelRunner(int threads = 0);
+
+  int threads() const { return threads_; }
+
+  /// Runs every cell of the spec; results in expansion order.
+  SweepResult run(const ExperimentSpec& spec) const;
+
+  /// Runs explicit cells (spec-free callers); results in input order.
+  std::vector<sim::SimResult> run_cells(const std::vector<Cell>& cells) const;
+
+  /// Generic stable-order parallel map: invokes fn(i) for i in [0, n)
+  /// across the pool. Used by benches whose work items are not simulator
+  /// cells (attack suites, model sweeps).
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& fn) const;
+
+ private:
+  int threads_;
+};
+
+/// Runs one cell synchronously (the unit of work a pool thread executes).
+sim::SimResult run_cell(const Cell& cell);
+
+// ---- result table -----------------------------------------------------------
+
+/// Row/column sink for one figure or table. Renders the paper's aligned
+/// text layout (12-wide name column, 12-wide right-aligned cells — the
+/// format every bench printed by hand before) and can re-emit the same
+/// rows as CSV or JSON for the bench trajectory.
+class ResultTable {
+ public:
+  ResultTable(std::string title, std::vector<std::string> columns);
+
+  /// Appends one row; each value is formatted with `format` (a printf
+  /// conversion for one double, default "%12.4f").
+  void add_row(const std::string& name, const std::vector<double>& values,
+               const char* format = "%12.4f");
+  /// Appends a row with some cells blank (e.g. Fig 11's GeoMean row shows
+  /// only the last column). std::nullopt renders as an empty cell.
+  void add_partial_row(const std::string& name,
+                       const std::vector<std::optional<double>>& values,
+                       const char* format = "%12.4f");
+
+  const std::string& title() const { return title_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Aligned text, exactly the layout bench_util.h used to print.
+  void print(std::FILE* out = stdout) const;
+  /// CSV section: `table,benchmark,<columns...>` header then one line per
+  /// row (full-precision values, blanks for missing cells).
+  void append_csv(std::FILE* out) const;
+  /// JSON objects {"table":..., "row":..., "<column>": value, ...}
+  /// appended to `items` (the CLI helper wraps them in one array).
+  void append_json(std::vector<std::string>& items) const;
+
+ private:
+  struct Cell {
+    std::string text;             ///< formatted, right-aligned when printed
+    std::optional<double> value;  ///< raw value for CSV/JSON
+  };
+  struct Row {
+    std::string name;
+    std::vector<Cell> cells;
+  };
+
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+// ---- CLI --------------------------------------------------------------------
+
+/// Options every bench accepts: --threads=N, --csv=PATH, --json=PATH,
+/// --instrs=N, --help.
+struct BenchOptions {
+  int threads = 0;               ///< 0 = hardware concurrency
+  std::string csv_path;          ///< empty = no CSV emission
+  std::string json_path;         ///< empty = no JSON emission
+  std::uint64_t instrs = kInstrsPerRun;
+  std::vector<std::string> positional;
+};
+
+/// Parses the shared flags; prints usage and exits on --help or an
+/// unknown --flag. Positional arguments pass through untouched.
+BenchOptions parse_bench_args(int argc, char** argv,
+                              const char* extra_usage = nullptr);
+
+/// Writes every table once to each requested sink: aligned text to
+/// stdout, plus CSV/JSON files when the options ask for them.
+void emit_tables(const std::vector<const ResultTable*>& tables,
+                 const BenchOptions& options);
+
+/// File sinks only (benches that interleave tables with prose print the
+/// text themselves and call this at the end).
+void write_files(const std::vector<const ResultTable*>& tables,
+                 const BenchOptions& options);
+
+}  // namespace safespec::experiment

@@ -15,6 +15,13 @@
 
 namespace safespec::sim {
 
+/// a - b clamped at zero: counter pairs sampled from different structures
+/// can disagree transiently (e.g. a shadow hit recorded for a load whose
+/// L1 miss was annulled), and the rate helpers must not underflow.
+constexpr std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) {
+  return a > b ? a - b : 0;
+}
+
 /// Everything the figures need from one run, flattened out of the core's
 /// structures.
 struct SimResult {
@@ -30,11 +37,13 @@ struct SimResult {
   double dcache_miss_rate_incl_shadow() const {
     return dcache_accesses == 0
                ? 0.0
-               : static_cast<double>(dcache_misses - shadow_dcache_hits) /
+               : static_cast<double>(
+                     saturating_sub(dcache_misses, shadow_dcache_hits)) /
                      dcache_accesses;
   }
   double shadow_dcache_hit_fraction() const {
-    const auto hits = dcache_accesses - dcache_misses + shadow_dcache_hits;
+    const auto hits =
+        saturating_sub(dcache_accesses, dcache_misses) + shadow_dcache_hits;
     return hits == 0 ? 0.0
                      : static_cast<double>(shadow_dcache_hits) / hits;
   }
@@ -51,7 +60,7 @@ struct SimResult {
                : static_cast<double>(icache_misses) / icache_accesses;
   }
   double shadow_icache_hit_fraction() const {
-    const auto hits = icache_accesses - icache_misses;
+    const auto hits = saturating_sub(icache_accesses, icache_misses);
     return hits == 0 ? 0.0
                      : static_cast<double>(shadow_icache_hits) / hits;
   }

@@ -337,6 +337,12 @@ std::vector<WorkloadProfile> spec2017_profiles() {
   return v;
 }
 
+std::vector<std::string> spec2017_profile_names() {
+  std::vector<std::string> names;
+  for (const auto& p : spec2017_profiles()) names.push_back(p.name);
+  return names;
+}
+
 WorkloadProfile profile_by_name(const std::string& name) {
   for (const auto& p : spec2017_profiles()) {
     if (p.name == name) return p;

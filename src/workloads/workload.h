@@ -68,6 +68,10 @@ WorkloadImage generate(const WorkloadProfile& profile,
 /// them (perlbench ... gcc).
 std::vector<WorkloadProfile> spec2017_profiles();
 
+/// Just the names, in the same plotting order (convenience for CLIs and
+/// the experiment engine; builds the profile table internally).
+std::vector<std::string> spec2017_profile_names();
+
 /// Look up one profile by name (throws std::out_of_range if unknown).
 WorkloadProfile profile_by_name(const std::string& name);
 

@@ -1,0 +1,185 @@
+// Tests for the experiment engine: declarative grid expansion, the
+// parallel runner's determinism guarantee (bitwise-identical results
+// regardless of thread count), the stats merge helpers the sweeps
+// aggregate with, and the ResultTable sinks.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "experiment/experiment.h"
+#include "workloads/workload.h"
+
+namespace safespec::experiment {
+namespace {
+
+// Field-by-field comparison (memcmp would also compare padding).
+void expect_bitwise_equal(const sim::SimResult& a, const sim::SimResult& b,
+                          const std::string& what) {
+  EXPECT_EQ(static_cast<int>(a.stop), static_cast<int>(b.stop)) << what;
+  EXPECT_EQ(a.cycles, b.cycles) << what;
+  EXPECT_EQ(a.committed_instrs, b.committed_instrs) << what;
+  EXPECT_EQ(a.ipc, b.ipc) << what;
+  EXPECT_EQ(a.dcache_accesses, b.dcache_accesses) << what;
+  EXPECT_EQ(a.dcache_misses, b.dcache_misses) << what;
+  EXPECT_EQ(a.shadow_dcache_hits, b.shadow_dcache_hits) << what;
+  EXPECT_EQ(a.icache_accesses, b.icache_accesses) << what;
+  EXPECT_EQ(a.icache_misses, b.icache_misses) << what;
+  EXPECT_EQ(a.shadow_icache_hits, b.shadow_icache_hits) << what;
+  EXPECT_EQ(a.shadow_dcache_commit_rate, b.shadow_dcache_commit_rate) << what;
+  EXPECT_EQ(a.shadow_icache_commit_rate, b.shadow_icache_commit_rate) << what;
+  EXPECT_EQ(a.shadow_dcache_p9999, b.shadow_dcache_p9999) << what;
+  EXPECT_EQ(a.shadow_icache_p9999, b.shadow_icache_p9999) << what;
+  EXPECT_EQ(a.shadow_dtlb_p9999, b.shadow_dtlb_p9999) << what;
+  EXPECT_EQ(a.shadow_itlb_p9999, b.shadow_itlb_p9999) << what;
+  EXPECT_EQ(a.mispredicts, b.mispredicts) << what;
+  EXPECT_EQ(a.squashed_instrs, b.squashed_instrs) << what;
+  EXPECT_EQ(a.faults, b.faults) << what;
+}
+
+TEST(ExperimentSpec, ExpandsProfileMajor) {
+  ExperimentSpec spec;
+  spec.profile_names({"perlbench", "mcf", "lbm"})
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(1234);
+
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 6u);
+  ASSERT_EQ(spec.variant_axis().size(), 2u);
+  EXPECT_EQ(spec.variant_axis()[0].name, "baseline");
+  EXPECT_EQ(spec.variant_axis()[1].name, "WFC");
+
+  const char* expected_profiles[] = {"perlbench", "perlbench", "mcf",
+                                     "mcf",       "lbm",       "lbm"};
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    EXPECT_EQ(cells[i].profile.name, expected_profiles[i]);
+    EXPECT_EQ(cells[i].profile_index, i / 2);
+    EXPECT_EQ(cells[i].variant_index, i % 2);
+    EXPECT_EQ(cells[i].instrs, 1234u);
+  }
+}
+
+TEST(ExperimentSpec, VariantMutationApplies) {
+  ExperimentSpec spec;
+  spec.profile_names({"x264"})
+      .policy(shadow::CommitPolicy::kWFC,
+              [](cpu::CoreConfig& c) { c.shadow_dcache.entries = 8; });
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].config.policy, shadow::CommitPolicy::kWFC);
+  EXPECT_EQ(cells[0].config.shadow_dcache.entries, 8);
+}
+
+TEST(ExperimentSpec, UnknownProfileThrows) {
+  ExperimentSpec spec;
+  EXPECT_THROW(spec.profile_names({"notabenchmark"}), std::out_of_range);
+}
+
+TEST(ParallelRunner, DeterministicAcrossThreadCounts) {
+  ExperimentSpec spec;
+  spec.profile_names({"exchange2", "x264", "deepsjeng"})
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFC)
+      .instrs(4000);
+
+  const auto serial = ParallelRunner(1).run(spec);
+  const auto parallel = ParallelRunner(4).run(spec);
+
+  ASSERT_EQ(serial.flat().size(), parallel.flat().size());
+  for (std::size_t i = 0; i < serial.flat().size(); ++i) {
+    expect_bitwise_equal(serial.flat()[i], parallel.flat()[i],
+                         "cell " + std::to_string(i));
+  }
+  // And the sweep actually ran: every cell committed instructions.
+  for (const auto& r : serial.flat()) EXPECT_GT(r.committed_instrs, 0u);
+}
+
+TEST(ParallelRunner, ParallelForCoversEveryIndexOnce) {
+  std::vector<int> visits(257, 0);
+  ParallelRunner(8).parallel_for(visits.size(),
+                                 [&](std::size_t i) { visits[i]++; });
+  for (std::size_t i = 0; i < visits.size(); ++i)
+    EXPECT_EQ(visits[i], 1) << "index " << i;
+}
+
+TEST(ParallelRunner, ZeroThreadsPicksHardwareConcurrency) {
+  EXPECT_GE(ParallelRunner(0).threads(), 1);
+}
+
+TEST(StatsMerge, HistogramMergeMatchesConcatenatedStream) {
+  Histogram a, b, merged;
+  for (std::uint64_t v : {1, 1, 2, 5}) {
+    a.record(v);
+    merged.record(v);
+  }
+  for (std::uint64_t v : {0, 3, 3, 9}) {
+    b.record(v);
+    merged.record(v);
+  }
+  Histogram folded = a;
+  folded.merge(b);
+  EXPECT_EQ(folded.count(), merged.count());
+  EXPECT_EQ(folded.max(), merged.max());
+  EXPECT_DOUBLE_EQ(folded.mean(), merged.mean());
+  for (double f : {0.25, 0.5, 0.9999}) {
+    EXPECT_EQ(folded.percentile(f), merged.percentile(f)) << f;
+  }
+}
+
+TEST(StatsMerge, CounterAndHitMiss) {
+  Counter a, b;
+  a.add(3);
+  b.add(4);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 7u);
+
+  HitMiss h1, h2;
+  h1.hits.add(9);
+  h1.misses.add(1);
+  h2.hits.add(1);
+  h2.misses.add(9);
+  h1.merge(h2);
+  EXPECT_EQ(h1.accesses(), 20u);
+  EXPECT_DOUBLE_EQ(h1.hit_rate(), 0.5);
+}
+
+TEST(ResultTable, CsvRoundTripsRawValues) {
+  ResultTable table("T, with comma", {"a", "b"});
+  table.add_row("row1", {1.5, 2.0});
+  table.add_partial_row("summary", {std::nullopt, 3.25});
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  table.append_csv(tmp);
+  std::rewind(tmp);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+
+  EXPECT_NE(text.find("table,benchmark,a,b"), std::string::npos);
+  EXPECT_NE(text.find("\"T, with comma\",row1,1.5,2"), std::string::npos);
+  EXPECT_NE(text.find("summary,,3.25"), std::string::npos);
+}
+
+TEST(SimResultHardening, RateHelpersClampInsteadOfUnderflowing) {
+  sim::SimResult r;
+  r.dcache_accesses = 100;
+  r.dcache_misses = 5;
+  r.shadow_dcache_hits = 9;  // disagreeing counters: hits > misses
+  EXPECT_DOUBLE_EQ(r.dcache_miss_rate_incl_shadow(), 0.0);
+  EXPECT_GE(r.shadow_dcache_hit_fraction(), 0.0);
+  EXPECT_LE(r.shadow_dcache_hit_fraction(), 1.0);
+
+  sim::SimResult i;
+  i.icache_accesses = 10;
+  i.icache_misses = 15;  // more misses than accesses
+  i.shadow_icache_hits = 2;
+  EXPECT_DOUBLE_EQ(i.shadow_icache_hit_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace safespec::experiment
