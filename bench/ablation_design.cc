@@ -17,15 +17,17 @@ int main(int argc, char** argv) {
   using namespace safespec;
   const auto opts = experiment::parse_bench_args(argc, argv);
   const experiment::ParallelRunner runner(opts.threads);
+  const auto machine = experiment::resolve_machine(opts);
 
   const std::vector<std::string> reps = {"mcf", "deepsjeng", "lbm", "gcc"};
 
   // ---- 1: WFB vs WFC ------------------------------------------------------
   experiment::ExperimentSpec policy_spec;
+  policy_spec.base_machine(machine);
   policy_spec.profile_names(reps)
-      .policy(shadow::CommitPolicy::kBaseline)
-      .policy(shadow::CommitPolicy::kWFB)
-      .policy(shadow::CommitPolicy::kWFC)
+      .policy("baseline")
+      .policy("WFB")
+      .policy("WFC")
       .instrs(opts.instrs);
   const auto policy_sweep = runner.run(policy_spec);
 
@@ -55,14 +57,15 @@ int main(int argc, char** argv) {
       {"perceptron", predictor::DirectionKind::kPerceptron},
   };
   experiment::ExperimentSpec predictor_spec;
+  predictor_spec.base_machine(machine);
   predictor_spec.profile_names(reps).instrs(opts.instrs);
   for (const auto& k : kinds) {
     const auto kind = k.kind;
     const auto set_kind = [kind](cpu::CoreConfig& c) {
       c.predictor.direction.kind = kind;
     };
-    predictor_spec.policy(shadow::CommitPolicy::kBaseline, set_kind);
-    predictor_spec.policy(shadow::CommitPolicy::kWFC, set_kind);
+    predictor_spec.policy("baseline", set_kind);
+    predictor_spec.policy("WFC", set_kind);
   }
   const auto predictor_sweep = runner.run(predictor_spec);
 
@@ -86,8 +89,8 @@ int main(int argc, char** argv) {
   const std::vector<int> delays = {0, 1, 2, 3, 4, 8};
   std::vector<attacks::AttackOutcome> outcomes(delays.size());
   runner.parallel_for(delays.size(), [&](std::size_t i) {
-    outcomes[i] = attacks::run_meltdown_with_delay(
-        shadow::CommitPolicy::kBaseline, 0x7E, delays[i]);
+    outcomes[i] = attacks::run_meltdown_with_delay("baseline", 0x7E,
+                                                   delays[i]);
   });
   std::printf("\nAblation 3: Meltdown on the *baseline* vs commit_delay\n");
   std::printf("%-14s %8s\n", "commit_delay", "leaks?");

@@ -16,9 +16,10 @@ int main(int argc, char** argv) {
   const auto opts = experiment::parse_bench_args(argc, argv);
 
   experiment::ExperimentSpec spec;
+  spec.base_machine(experiment::resolve_machine(opts));
   spec.all_spec_profiles()
-      .policy(shadow::CommitPolicy::kWFC)
-      .policy(shadow::CommitPolicy::kWFB)
+      .policy("WFC")
+      .policy("WFB")
       .instrs(opts.instrs);
   const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
 
@@ -45,6 +46,7 @@ int main(int argc, char** argv) {
       const double wfc = static_cast<double>(sweep.at(p, 0).*(fig.field));
       const double wfb = static_cast<double>(sweep.at(p, 1).*(fig.field));
       table.add_row(profiles[p].name, {wfc, wfb}, "%12.0f");
+      table.annotate_last_row(sweep.stop_note(p));
       wfc_values.push_back(wfc);
       wfb_values.push_back(wfb);
     }

@@ -12,9 +12,10 @@ int main(int argc, char** argv) {
   const auto opts = experiment::parse_bench_args(argc, argv);
 
   experiment::ExperimentSpec spec;
+  spec.base_machine(experiment::resolve_machine(opts));
   spec.all_spec_profiles()
-      .policy(shadow::CommitPolicy::kBaseline)
-      .policy(shadow::CommitPolicy::kWFC)
+      .policy("baseline")
+      .policy("WFC")
       .instrs(opts.instrs);
   const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
 
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
     const double norm = base.ipc == 0 ? 0 : wfc.ipc / base.ipc;
     normalized.push_back(norm);
     table.add_row(profiles[p].name, {base.ipc, wfc.ipc, norm});
+    table.annotate_last_row(sweep.stop_note(p));
   }
   table.add_partial_row("GeoMean", {std::nullopt, std::nullopt,
                                     geometric_mean(normalized)});

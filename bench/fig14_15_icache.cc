@@ -12,9 +12,10 @@ int main(int argc, char** argv) {
   const auto opts = experiment::parse_bench_args(argc, argv);
 
   experiment::ExperimentSpec spec;
+  spec.base_machine(experiment::resolve_machine(opts));
   spec.all_spec_profiles()
-      .policy(shadow::CommitPolicy::kBaseline)
-      .policy(shadow::CommitPolicy::kWFC)
+      .policy("baseline")
+      .policy("WFC")
       .instrs(opts.instrs);
   const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
   const auto& profiles = spec.profile_axis();
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
     const double wfc = sweep.at(p, 1).icache_miss_rate_incl_shadow();
     const double base = sweep.at(p, 0).icache_miss_rate_incl_shadow();
     fig14.add_row(profiles[p].name, {wfc, base});
+    fig14.annotate_last_row(sweep.stop_note(p));
     wfc_rates.push_back(wfc);
     base_rates.push_back(base);
   }
@@ -39,6 +41,7 @@ int main(int argc, char** argv) {
   for (std::size_t p = 0; p < profiles.size(); ++p) {
     const double pct = 100.0 * sweep.at(p, 1).shadow_icache_hit_fraction();
     fig15.add_row(profiles[p].name, {pct}, "%12.2f");
+    fig15.annotate_last_row(sweep.stop_note(p));
     pcts.push_back(pct);
   }
   fig15.add_row("Average", {arithmetic_mean(pcts)}, "%12.2f");

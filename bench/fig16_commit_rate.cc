@@ -14,8 +14,9 @@ int main(int argc, char** argv) {
   const auto opts = experiment::parse_bench_args(argc, argv);
 
   experiment::ExperimentSpec spec;
+  spec.base_machine(experiment::resolve_machine(opts));
   spec.all_spec_profiles()
-      .policy(shadow::CommitPolicy::kWFC)
+      .policy("WFC")
       .instrs(opts.instrs);
   const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
   const auto& profiles = spec.profile_axis();
@@ -27,6 +28,7 @@ int main(int argc, char** argv) {
     const auto& wfc = sweep.at(p, 0);
     table.add_row(profiles[p].name, {wfc.shadow_icache_commit_rate,
                                      wfc.shadow_dcache_commit_rate});
+    table.annotate_last_row(sweep.stop_note(p));
     i_rates.push_back(wfc.shadow_icache_commit_rate);
     d_rates.push_back(wfc.shadow_dcache_commit_rate);
   }

@@ -11,7 +11,7 @@
 #include "memory/tlb.h"
 #include "predictor/branch_predictor.h"
 #include "safespec/shadow_structures.h"
-#include "sim/sim_config.h"
+#include "sim/machine.h"
 #include "workloads/runner.h"
 
 namespace {
@@ -101,9 +101,8 @@ BENCHMARK(BM_PredictorPerceptron);
 /// reported as items/s.
 void BM_CoreSimulationRate(benchmark::State& state) {
   const auto profile = workloads::profile_by_name("x264");
-  const auto config = sim::skylake_config(
-      state.range(0) != 0 ? shadow::CommitPolicy::kWFC
-                          : shadow::CommitPolicy::kBaseline);
+  auto config = sim::machine_preset("skylake").core;
+  config.policy = state.range(0) != 0 ? "WFC" : "baseline";
   for (auto _ : state) {
     const auto result = workloads::run_workload(profile, config, 10'000);
     state.SetItemsProcessed(state.items_processed() +
@@ -120,8 +119,8 @@ BENCHMARK(BM_CoreSimulationRate)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 void BM_ParallelSweep(benchmark::State& state) {
   experiment::ExperimentSpec spec;
   spec.profile_names({"exchange2", "x264", "deepsjeng", "namd"})
-      .policy(shadow::CommitPolicy::kBaseline)
-      .policy(shadow::CommitPolicy::kWFC)
+      .policy("baseline")
+      .policy("WFC")
       .instrs(10'000);
   const experiment::ParallelRunner runner(static_cast<int>(state.range(0)));
   for (auto _ : state) {

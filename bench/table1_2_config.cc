@@ -9,7 +9,8 @@ int main(int argc, char** argv) {
   const auto opts = experiment::parse_bench_args(argc, argv);
 
   std::printf("=== Tables I & II: simulated CPU configuration ===\n\n");
-  const auto variant = experiment::policy_variant(shadow::CommitPolicy::kWFC);
+  const auto variant =
+      experiment::named_variant(experiment::resolve_machine(opts), "WFC");
   const auto& c = variant.config;
   std::printf("%s\n", sim::describe_config(c).c_str());
 

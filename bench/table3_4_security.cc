@@ -25,14 +25,12 @@ const char* mark(bool stopped) { return stopped ? "YES" : "no "; }
 int main(int argc, char** argv) {
   using namespace safespec;
   using attacks::AttackOutcome;
-  using shadow::CommitPolicy;
 
   const auto opts = experiment::parse_bench_args(argc, argv);
   const experiment::ParallelRunner runner(opts.threads);
 
   std::printf("Running attack suite under baseline / WFB / WFC...\n");
-  const CommitPolicy policies[] = {CommitPolicy::kBaseline, CommitPolicy::kWFB,
-                                   CommitPolicy::kWFC};
+  const std::string policies[] = {"baseline", "WFB", "WFC"};
   std::vector<std::vector<AttackOutcome>> suites(3);
   runner.parallel_for(
       3, [&](std::size_t i) { suites[i] = attacks::run_all_attacks(policies[i]); });
@@ -46,7 +44,7 @@ int main(int argc, char** argv) {
   std::vector<attacks::TsaConfig> tsa_configs;
   for (int entries : {4, 8, 16, 32, 72}) {
     for (auto fp : {shadow::FullPolicy::kDrop, shadow::FullPolicy::kStall}) {
-      tsa_configs.push_back({CommitPolicy::kWFC, entries, fp});
+      tsa_configs.push_back({"WFC", entries, fp});
     }
   }
   std::vector<attacks::TsaOutcome> tsa_outcomes(tsa_configs.size());
@@ -60,7 +58,7 @@ int main(int argc, char** argv) {
   for (const auto* suite : {&base, &wfb, &wfc}) {
     for (const AttackOutcome& a : *suite) {
       std::printf("%-12s %-9s %-8s %-10d %s\n", a.name.c_str(),
-                  shadow::to_string(a.policy), a.leaked ? "LEAKED" : "-",
+                  a.policy.c_str(), a.leaked ? "LEAKED" : "-",
                   a.recovered, a.detail.c_str());
     }
   }

@@ -23,8 +23,9 @@ int main(int argc, char** argv) {
   std::printf("Measuring 99.99%% shadow occupancies across SPEC2017-like "
               "suite...\n");
   experiment::ExperimentSpec spec;
+  spec.base_machine(experiment::resolve_machine(opts));
   spec.all_spec_profiles()
-      .policy(shadow::CommitPolicy::kWFC)
+      .policy("WFC")
       .instrs(opts.instrs);
   const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
 

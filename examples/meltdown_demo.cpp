@@ -16,11 +16,9 @@ int main(int argc, char** argv) {
 
   std::printf("Kernel page holds secret byte 0x%02X; attacker runs in user "
               "mode.\n\n", secret);
-  for (auto policy : {shadow::CommitPolicy::kBaseline,
-                      shadow::CommitPolicy::kWFB,
-                      shadow::CommitPolicy::kWFC}) {
+  for (const char* policy : {"baseline", "WFB", "WFC"}) {
     const auto out = attacks::run_meltdown(policy, secret);
-    std::printf("policy=%-8s  %s", shadow::to_string(policy),
+    std::printf("policy=%-8s  %s", policy,
                 out.leaked ? "LEAKED" : "no leak");
     if (out.leaked) std::printf("  recovered=0x%02X", out.recovered);
     std::printf("  [%s]\n", out.detail.c_str());

@@ -1,13 +1,13 @@
-// Quickstart: build a tiny program with the ProgramBuilder, run it on a
-// SkyLake-like core under baseline and SafeSpec-WFC, and read results
-// back out of the architectural state.
+// Quickstart: build a tiny program with the ProgramBuilder, stand up a
+// machine with the MachineBuilder (preset + policy name + address-space
+// setup in one fluent chain), and read results back out of the
+// architectural state.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
 #include "isa/program.h"
-#include "sim/sim_config.h"
-#include "sim/simulator.h"
+#include "sim/machine.h"
 
 int main() {
   using namespace safespec;
@@ -32,21 +32,21 @@ int main() {
   auto program = b.build();
   program.set_entry(0x1000);
 
-  for (auto policy : {shadow::CommitPolicy::kBaseline,
-                      shadow::CommitPolicy::kWFB,
-                      shadow::CommitPolicy::kWFC}) {
-    sim::Simulator sim(sim::skylake_config(policy), program);
-    sim.map_text();                     // map the code pages
-    sim.map_region(kData, kPageSize);   // map the data page
-    const auto result = sim.run();
+  for (const char* policy : {"baseline", "WFB", "WFC"}) {
+    // Text pages are mapped automatically; the data page rides the spec.
+    auto sim = sim::MachineBuilder::from_preset("skylake")
+                   .policy(policy)
+                   .map_region(kData, kPageSize)
+                   .build(program);
+    const auto result = sim->run();
 
     std::printf("policy=%-8s  sum=%llu  readback=%llu  cycles=%llu  "
                 "IPC=%.3f  (stop=%s)\n",
-                shadow::to_string(policy),
-                static_cast<unsigned long long>(sim.core().reg(3)),
-                static_cast<unsigned long long>(sim.core().reg(5)),
+                policy,
+                static_cast<unsigned long long>(sim->core().reg(3)),
+                static_cast<unsigned long long>(sim->core().reg(5)),
                 static_cast<unsigned long long>(result.cycles), result.ipc,
-                result.stop == cpu::StopReason::kHalted ? "halted" : "other");
+                cpu::to_string(result.stop));
   }
   std::printf("\nArchitectural results are identical under every policy —\n"
               "SafeSpec only changes where *speculative* state lives.\n");

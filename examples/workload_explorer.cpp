@@ -1,57 +1,74 @@
 // Workload explorer: run any of the 22 SPEC2017-like profiles under any
-// protection policy (a one-cell experiment through the same engine the
-// figure benches sweep with) and dump the microarchitectural statistics
-// the figures are built from.
+// registered protection policy on any machine — preset, --config file,
+// or --set overrides (a one-cell experiment through the same engine the
+// figure benches sweep with) — and dump the microarchitectural
+// statistics the figures are built from.
 //
-//   $ ./examples/workload_explorer                 # list profiles
-//   $ ./examples/workload_explorer mcf wfc 100000  # run one
+//   $ ./examples/workload_explorer                  # list profiles etc.
+//   $ ./examples/workload_explorer mcf WFC 100000   # run one
+//   $ ./examples/workload_explorer mcf WFB-stall --set=preset=embedded
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
 #include "experiment/experiment.h"
+#include "safespec/policy.h"
 
 int main(int argc, char** argv) {
   using namespace safespec;
   const auto opts = experiment::parse_bench_args(
-      argc, argv, "[profile [baseline|wfb|wfc] [instrs]]");
+      argc, argv, "[profile [policy] [instrs]]");
 
   if (opts.positional.empty()) {
-    std::printf("usage: %s <profile> [baseline|wfb|wfc] [instrs]\n\n",
-                argv[0]);
+    std::printf("usage: %s <profile> [policy] [instrs]\n\n", argv[0]);
     std::printf("profiles:");
     for (const auto& name : workloads::spec2017_profile_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\npolicies:");
+    for (const auto& name : policy::registered_policy_names()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\npresets:");
+    for (const auto& name : sim::machine_preset_names()) {
       std::printf(" %s", name.c_str());
     }
     std::printf("\n");
     return 0;
   }
 
-  shadow::CommitPolicy policy = shadow::CommitPolicy::kWFC;
-  if (opts.positional.size() > 1) {
-    if (opts.positional[1] == "baseline") {
-      policy = shadow::CommitPolicy::kBaseline;
-    } else if (opts.positional[1] == "wfb") {
-      policy = shadow::CommitPolicy::kWFB;
-    }
+  auto machine = experiment::resolve_machine(opts);
+  // Policy precedence: positional (any registered name; legacy lowercase
+  // aliases kept) > --config/--set policy > WFC.
+  bool machine_policy_chosen = !opts.config_path.empty();
+  for (const auto& kv : opts.overrides) {
+    if (kv.rfind("policy=", 0) == 0) machine_policy_chosen = true;
   }
+  std::string policy_name =
+      opts.positional.size() > 1
+          ? opts.positional[1]
+          : machine_policy_chosen ? machine.core.policy : std::string("WFC");
+  if (policy_name == "wfb") policy_name = "WFB";
+  if (policy_name == "wfc") policy_name = "WFC";
   const std::uint64_t instrs =
       opts.positional.size() > 2
           ? std::strtoull(opts.positional[2].c_str(), nullptr, 10)
           : opts.instrs;
 
   experiment::ExperimentSpec spec;
+  spec.base_machine(std::move(machine));
   try {
     spec.profile_names({opts.positional[0]});
+    spec.policy(policy_name);
   } catch (const std::out_of_range& e) {
-    std::fprintf(stderr, "%s (run with no arguments to list profiles)\n",
-                 e.what());
+    std::fprintf(stderr, "%s (run with no arguments to list profiles and "
+                 "policies)\n", e.what());
     return 1;
   }
-  spec.policy(policy).instrs(instrs);
+  spec.instrs(instrs);
   std::printf("running %s under %s for ~%llu instructions...\n",
-              spec.profile_axis()[0].name.c_str(), shadow::to_string(policy),
+              spec.profile_axis()[0].name.c_str(), policy_name.c_str(),
               static_cast<unsigned long long>(instrs));
   const auto sweep = experiment::ParallelRunner(opts.threads).run(spec);
   const auto& r = sweep.at(0, 0);
@@ -69,7 +86,7 @@ int main(int argc, char** argv) {
               r.dcache_miss_rate_incl_shadow());
   std::printf("i-cache miss rate    %.4f (incl. shadow)\n",
               r.icache_miss_rate_incl_shadow());
-  if (policy != shadow::CommitPolicy::kBaseline) {
+  if (policy::named_policy(policy_name).shadows_speculation()) {
     std::printf("shadow d-cache       hits=%llu commit-rate=%.3f "
                 "p99.99-occupancy=%llu\n",
                 static_cast<unsigned long long>(r.shadow_dcache_hits),

@@ -3,12 +3,19 @@
 #include <algorithm>
 
 #include "isa/instruction.h"
+#include "sim/machine.h"
 
 namespace safespec::attacks {
 
 using isa::AluOp;
 using isa::CondOp;
 using isa::ProgramBuilder;
+
+cpu::CoreConfig attack_machine(const std::string& policy) {
+  cpu::CoreConfig config = sim::machine_preset("skylake").core;
+  config.policy = policy;
+  return config;
+}
 
 void emit_probe_flush(ProgramBuilder& b, const std::string& label_prefix) {
   const std::string loop = label_prefix + "_flush_loop";

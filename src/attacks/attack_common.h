@@ -84,11 +84,16 @@ ReceiverReading read_receiver(const sim::Simulator& sim);
 /// Outcome of one attack run.
 struct AttackOutcome {
   std::string name;
-  shadow::CommitPolicy policy = shadow::CommitPolicy::kBaseline;
+  std::string policy = "baseline";  ///< protection-policy registry name
   int secret = -1;        ///< planted value
   int recovered = -1;     ///< attacker's best guess (-1: nothing recovered)
   bool leaked = false;    ///< recovered == secret with clear margin
   std::string detail;
 };
+
+/// The machine every PoC runs on: the "skylake" preset core with the
+/// named protection policy selected (throws std::out_of_range, listing
+/// the registered policies, on an unknown name).
+cpu::CoreConfig attack_machine(const std::string& policy);
 
 }  // namespace safespec::attacks

@@ -14,38 +14,38 @@ namespace safespec::attacks {
 /// branch is trained in-program with in-bounds offsets; the attack call
 /// flushes array1_size to widen the window and supplies an out-of-bounds
 /// offset reaching the secret. Flush+Reload receiver.
-AttackOutcome run_spectre_v1(shadow::CommitPolicy policy, int secret);
+AttackOutcome run_spectre_v1(const std::string& policy, int secret);
 
 /// Spectre variant 2: indirect branch target poisoning (§II-B3). The
 /// attacker installs the gadget address in the BTB (threat model P3),
 /// flushes the victim's function pointer, and triggers one indirect call.
-AttackOutcome run_spectre_v2(shadow::CommitPolicy policy, int secret);
+AttackOutcome run_spectre_v2(const std::string& policy, int secret);
 
 /// Meltdown (§II-B4): a user-mode load of a kernel address executes
 /// speculatively (P1: the permission check bites only at commit); the
 /// dependent probe load encodes the value; the fault handler runs the
 /// receiver.
-AttackOutcome run_meltdown(shadow::CommitPolicy policy, int secret);
+AttackOutcome run_meltdown(const std::string& policy, int secret);
 
 /// Meltdown with an explicit writeback-to-retire latency. The attack is a
 /// race: the dependent transmit load must issue inside this window, so
 /// sweeping it shows the structural condition for Meltdown on the
 /// *baseline* (ablation 3 in bench/ablation_design).
-AttackOutcome run_meltdown_with_delay(shadow::CommitPolicy policy, int secret,
+AttackOutcome run_meltdown_with_delay(const std::string& policy, int secret,
                                       int commit_delay);
 
 /// The paper's new I-cache variant (Fig 5, simplified to the micro-ISA):
 /// a speculative data-dependent indirect jump fetches one of 256 target
 /// lines; the receiver is an L1I residency oracle.
-AttackOutcome run_icache_attack(shadow::CommitPolicy policy, int secret);
+AttackOutcome run_icache_attack(const std::string& policy, int secret);
 
 /// iTLB variant: the speculative jump targets one of 256 *pages*; the
 /// receiver is an iTLB residency oracle.
-AttackOutcome run_itlb_attack(shadow::CommitPolicy policy, int secret);
+AttackOutcome run_itlb_attack(const std::string& policy, int secret);
 
 /// dTLB variant: the speculative gadget loads from one of 256 pages; the
 /// receiver is a dTLB residency oracle.
-AttackOutcome run_dtlb_attack(shadow::CommitPolicy policy, int secret);
+AttackOutcome run_dtlb_attack(const std::string& policy, int secret);
 
 /// Transient Speculation Attack (Fig 10): a wrong-path Trojan creates
 /// contention in the shadow d-cache that a committed-path Spy observes
@@ -53,7 +53,7 @@ AttackOutcome run_dtlb_attack(shadow::CommitPolicy policy, int secret);
 /// and full policy so the bench can show the channel opening when the
 /// structure is undersized and closing under worst-case sizing (§V).
 struct TsaConfig {
-  shadow::CommitPolicy policy = shadow::CommitPolicy::kWFC;
+  std::string policy = "WFC";  ///< protection-policy registry name
   int shadow_entries = 8;  ///< undersized by default; 72 = secure sizing
   shadow::FullPolicy full_policy = shadow::FullPolicy::kDrop;
 };
@@ -70,6 +70,6 @@ struct TsaOutcome {
 TsaOutcome run_tsa_attack(const TsaConfig& config);
 
 /// Runs every table-III/IV attack under `policy` (secrets fixed by seed).
-std::vector<AttackOutcome> run_all_attacks(shadow::CommitPolicy policy);
+std::vector<AttackOutcome> run_all_attacks(const std::string& policy);
 
 }  // namespace safespec::attacks

@@ -3,19 +3,18 @@
 #include <sstream>
 
 #include "attacks/attacks.h"
-#include "sim/sim_config.h"
+#include "sim/machine.h"
 
 namespace safespec::attacks {
 
 using isa::AluOp;
 using isa::ProgramBuilder;
-using shadow::CommitPolicy;
 
-AttackOutcome run_meltdown(CommitPolicy policy, int secret) {
+AttackOutcome run_meltdown(const std::string& policy, int secret) {
   return run_meltdown_with_delay(policy, secret, -1);
 }
 
-AttackOutcome run_meltdown_with_delay(CommitPolicy policy, int secret,
+AttackOutcome run_meltdown_with_delay(const std::string& policy, int secret,
                                       int commit_delay) {
   ProgramBuilder b(Layout::kText);
 
@@ -41,7 +40,7 @@ AttackOutcome run_meltdown_with_delay(CommitPolicy policy, int secret,
   program.set_entry(Layout::kText);
   program.set_fault_handler(b.label_addr("handler"));
 
-  auto config = sim::skylake_config(policy);
+  auto config = attack_machine(policy);
   if (commit_delay >= 0) config.commit_delay = commit_delay;
   sim::Simulator sim(config, std::move(program));
   map_attack_regions(sim);

@@ -3,14 +3,13 @@
 
 #include "attacks/attacks.h"
 #include "predictor/branch_predictor.h"
-#include "sim/sim_config.h"
+#include "sim/machine.h"
 
 namespace safespec::attacks {
 
 using isa::AluOp;
 using isa::CondOp;
 using isa::ProgramBuilder;
-using shadow::CommitPolicy;
 
 namespace {
 
@@ -18,8 +17,8 @@ namespace {
 /// make in-program mistraining deterministic, which keeps the PoCs
 /// robust. (The threat model grants the attacker full predictor control
 /// anyway — §II-C assumes predictor state is effectively programmable.)
-cpu::CoreConfig attack_config(CommitPolicy policy) {
-  auto config = sim::skylake_config(policy);
+cpu::CoreConfig attack_config(const std::string& policy) {
+  auto config = attack_machine(policy);
   config.predictor.direction.kind = predictor::DirectionKind::kBimodal;
   return config;
 }
@@ -47,7 +46,7 @@ std::string describe(const ReceiverReading& rx) {
 
 }  // namespace
 
-AttackOutcome run_spectre_v1(CommitPolicy policy, int secret) {
+AttackOutcome run_spectre_v1(const std::string& policy, int secret) {
   // Program layout:
   //   main: train loop (8 in-bounds victim calls)
   //         flush probe lines; flush array1_size; fence
@@ -128,7 +127,7 @@ AttackOutcome run_spectre_v1(CommitPolicy policy, int secret) {
   return out;
 }
 
-AttackOutcome run_spectre_v2(CommitPolicy policy, int secret) {
+AttackOutcome run_spectre_v2(const std::string& policy, int secret) {
   // Victim: loads a function pointer (flushed by the attacker, so the
   // indirect branch's target arrives late) and jumps through it. The
   // attacker has poisoned the BTB so speculation runs the gadget.

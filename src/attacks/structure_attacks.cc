@@ -10,21 +10,20 @@
 
 #include "attacks/attacks.h"
 #include "predictor/branch_predictor.h"
-#include "sim/sim_config.h"
+#include "sim/machine.h"
 
 namespace safespec::attacks {
 
 using isa::AluOp;
 using isa::CondOp;
 using isa::ProgramBuilder;
-using shadow::CommitPolicy;
 
 namespace {
 
 constexpr Addr kFnPages = 0x7000000;  ///< iTLB variant: one target per page
 
-cpu::CoreConfig attack_config(CommitPolicy policy) {
-  auto config = sim::skylake_config(policy);
+cpu::CoreConfig attack_config(const std::string& policy) {
+  auto config = attack_machine(policy);
   config.predictor.direction.kind = predictor::DirectionKind::kBimodal;
   return config;
 }
@@ -95,7 +94,7 @@ void setup_victim_memory(sim::Simulator& sim, int secret) {
   sim.poke(Layout::kSecretUser, static_cast<std::uint64_t>(secret));
 }
 
-AttackOutcome finish(const std::string& name, CommitPolicy policy, int secret,
+AttackOutcome finish(const std::string& name, const std::string& policy, int secret,
                      const std::vector<int>& resident,
                      cpu::StopReason stop) {
   AttackOutcome out;
@@ -121,7 +120,7 @@ AttackOutcome finish(const std::string& name, CommitPolicy policy, int secret,
 
 }  // namespace
 
-AttackOutcome run_icache_attack(CommitPolicy policy, int secret) {
+AttackOutcome run_icache_attack(const std::string& policy, int secret) {
   ProgramBuilder b(Layout::kText);
   emit_train_and_strike(b);
   emit_ijump_victim(b, Layout::kFnArea, Layout::kFnStride);
@@ -151,7 +150,7 @@ AttackOutcome run_icache_attack(CommitPolicy policy, int secret) {
   return finish("icache", policy, secret, resident, result.stop);
 }
 
-AttackOutcome run_itlb_attack(CommitPolicy policy, int secret) {
+AttackOutcome run_itlb_attack(const std::string& policy, int secret) {
   ProgramBuilder b(Layout::kText);
   emit_train_and_strike(b);
   emit_ijump_victim(b, kFnPages, static_cast<int>(kPageSize));
@@ -173,7 +172,7 @@ AttackOutcome run_itlb_attack(CommitPolicy policy, int secret) {
   return finish("itlb", policy, secret, resident, result.stop);
 }
 
-AttackOutcome run_dtlb_attack(CommitPolicy policy, int secret) {
+AttackOutcome run_dtlb_attack(const std::string& policy, int secret) {
   ProgramBuilder b(Layout::kText);
   emit_train_and_strike(b);
 
@@ -213,7 +212,7 @@ AttackOutcome run_dtlb_attack(CommitPolicy policy, int secret) {
   return finish("dtlb", policy, secret, resident, result.stop);
 }
 
-std::vector<AttackOutcome> run_all_attacks(CommitPolicy policy) {
+std::vector<AttackOutcome> run_all_attacks(const std::string& policy) {
   std::vector<AttackOutcome> out;
   out.push_back(run_spectre_v1(policy, 0x5A));
   out.push_back(run_spectre_v2(policy, 0xC3));

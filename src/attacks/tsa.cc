@@ -28,7 +28,7 @@
 
 #include "attacks/attacks.h"
 #include "predictor/branch_predictor.h"
-#include "sim/sim_config.h"
+#include "sim/machine.h"
 
 namespace safespec::attacks {
 
@@ -131,7 +131,7 @@ TsaRun run_once(const TsaConfig& config, int secret_bit) {
   // The branch pc is needed for mistraining; rebuild to find the label.
   ProgramBuilder finder(Layout::kText);
   // (Label addresses are deterministic; rebuild the program and query.)
-  auto core_config = sim::skylake_config(config.policy);
+  auto core_config = attack_machine(config.policy);
   core_config.predictor.direction.kind = predictor::DirectionKind::kBimodal;
   core_config.shadow_dcache.entries = config.shadow_entries;
   core_config.shadow_dcache.full_policy = config.full_policy;

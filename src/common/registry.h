@@ -1,0 +1,71 @@
+// Shared string-keyed registry used by the protection-policy and
+// machine-preset registries: mutex-guarded name -> value map whose
+// lookup failures list every registered name (so a typo in a config
+// file or --set flag is self-diagnosing).
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace safespec {
+
+template <typename Value>
+class NamedRegistry {
+ public:
+  /// `kind` names the registered thing in error messages
+  /// ("protection policy", "machine preset").
+  explicit NamedRegistry(std::string kind) : kind_(std::move(kind)) {}
+
+  /// Looks up `name`. Throws std::out_of_range listing every registered
+  /// name when unknown. The returned reference stays valid for the
+  /// registry's lifetime (entries are never removed).
+  const Value& at(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(name);
+    if (it == map_.end()) {
+      std::string known;
+      for (const auto& [key, unused] : map_) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      throw std::out_of_range("unknown " + kind_ + " \"" + name +
+                              "\" (registered: " + known + ")");
+    }
+    return it->second;
+  }
+
+  bool contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return map_.count(name) != 0;
+  }
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(map_.size());
+    for (const auto& [key, unused] : map_) out.push_back(key);
+    return out;
+  }
+
+  /// Registers `value` under `name`; throws std::invalid_argument if
+  /// the name is already taken.
+  void add(const std::string& name, Value value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!map_.emplace(name, std::move(value)).second) {
+      throw std::invalid_argument(kind_ + " \"" + name +
+                                  "\" is already registered");
+    }
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::string kind_;
+  std::map<std::string, Value> map_;
+};
+
+}  // namespace safespec

@@ -9,29 +9,54 @@ namespace safespec::cpu {
 using isa::OpClass;
 using memory::CacheHierarchy;
 using memory::Side;
-using shadow::CommitPolicy;
 using shadow::FullPolicy;
 
 namespace {
 /// Maximum decoded-but-undispatched instructions buffered by the front
 /// end. Sized to cover the fetch-to-dispatch delay at full width.
 constexpr int kFetchBufferCap = 48;
+
+/// Resolves the configured policy name and applies its full-table
+/// handling override to every shadow structure before anything is built.
+CoreConfig tuned_config(CoreConfig c) {
+  const auto& p = policy::named_policy(c.policy);
+  p.tune(c.shadow_dcache);
+  p.tune(c.shadow_icache);
+  p.tune(c.shadow_dtlb);
+  p.tune(c.shadow_itlb);
+  return c;
+}
 }  // namespace
+
+const char* to_string(StopReason reason) {
+  switch (reason) {
+    case StopReason::kHalted:
+      return "halted";
+    case StopReason::kFaultNoHandler:
+      return "fault";
+    case StopReason::kMaxCycles:
+      return "max-cycles";
+    case StopReason::kMaxInstrs:
+      return "max-instrs";
+  }
+  return "?";
+}
 
 Core::Core(const CoreConfig& config, const isa::Program* program,
            memory::MainMemory* mem, memory::PageTable* page_table)
-    : config_(config),
+    : config_(tuned_config(config)),
+      policy_(&policy::named_policy(config_.policy)),
       program_(program),
       mem_(mem),
       page_table_(page_table),
-      hierarchy_(config.hierarchy),
-      itlb_(config.itlb),
-      dtlb_(config.dtlb),
-      predictor_(config.predictor),
-      shadow_dcache_(config.shadow_dcache),
-      shadow_icache_(config.shadow_icache),
-      shadow_dtlb_(config.shadow_dtlb),
-      shadow_itlb_(config.shadow_itlb) {
+      hierarchy_(config_.hierarchy),
+      itlb_(config_.itlb),
+      dtlb_(config_.dtlb),
+      predictor_(config_.predictor),
+      shadow_dcache_(config_.shadow_dcache),
+      shadow_icache_(config_.shadow_icache),
+      shadow_dtlb_(config_.shadow_dtlb),
+      shadow_itlb_(config_.shadow_itlb) {
   fetch_pc_ = program_->entry();
 }
 
@@ -205,7 +230,7 @@ void Core::rebuild_rename_map() {
 void Core::stage_commit() {
   // WFB promotion sweep: an instruction's shadow state becomes commitable
   // once no older branch remains unresolved (§III "wait-for-branch").
-  if (config_.policy == CommitPolicy::kWFB) {
+  if (policy_->promote_at_branch_resolution()) {
     for (DynInst& di : rob_) {
       if (di.state == InstState::kWaiting || di.shadow_promoted) continue;
       if (older_unresolved_branch_exists(di.seq)) continue;
@@ -370,6 +395,13 @@ void Core::promote_shadow(DynInst& di) {
 }
 
 void Core::release_shadow(DynInst& di) {
+  // Squash handling is a policy decision point: every shipped policy
+  // annuls in place (Fig 3); a policy answering false promotes squashed
+  // state anyway — the insecure strawman for annulment-cost ablations.
+  if (!policy_->annul_on_squash()) {
+    promote_shadow(di);
+    return;
+  }
   if (di.shadow_dline != DynInst::kNoShadow || !di.walker_refs.empty()) {
     LOG_DEBUG("release pc=0x" << std::hex << di.pc << std::dec << " @"
                               << cycle_ << " dline=" << di.shadow_dline

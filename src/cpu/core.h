@@ -39,6 +39,7 @@
 #include "memory/page_table.h"
 #include "memory/tlb.h"
 #include "predictor/predictor_unit.h"
+#include "safespec/policy.h"
 #include "safespec/shadow_structures.h"
 
 namespace safespec::cpu {
@@ -70,7 +71,10 @@ struct CoreConfig {
   memory::TlbConfig dtlb{.name = "dTLB", .entries = 64, .ways = 4};
 
   // ---- SafeSpec --------------------------------------------------------
-  shadow::CommitPolicy policy = shadow::CommitPolicy::kBaseline;
+  /// Registry key of the protection policy ("baseline", "WFB", "WFC",
+  /// "WFB-stall", or any policy::register_policy() addition). Resolved
+  /// through policy::named_policy() when the core is built.
+  std::string policy = "baseline";
   /// Worst-case ("Secure") sizing by default: LDQ-bound for the d-side,
   /// ROB-bound for the i-side (§V / §VII). Benchmarks shrink these to
   /// study 99.99%-sizing and TSAs.
@@ -87,6 +91,10 @@ enum class StopReason : std::uint8_t {
   kMaxCycles,     ///< hit the cycle budget
   kMaxInstrs,     ///< hit the instruction budget
 };
+
+/// Short stable label ("halted", "fault", "max-cycles", "max-instrs") —
+/// result sinks use it to flag non-converged cells.
+const char* to_string(StopReason reason);
 
 /// Aggregate statistics of one run.
 struct CoreStats {
@@ -161,6 +169,9 @@ class Core {
   const shadow::ShadowTlb& shadow_itlb() const { return shadow_itlb_; }
 
   const CoreConfig& config() const { return config_; }
+  const policy::ProtectionPolicy& protection_policy() const {
+    return *policy_;
+  }
 
   /// Restarts control flow at `pc` with empty pipeline (between attack
   /// phases). Microarchitectural state (caches, predictors, shadows) is
@@ -230,12 +241,11 @@ class Core {
   void bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
                     SeqNum& producer);
 
-  bool protection_on() const {
-    return config_.policy != shadow::CommitPolicy::kBaseline;
-  }
+  bool protection_on() const { return policy_->shadows_speculation(); }
 
   // ---- configuration / substrate ---------------------------------------
   CoreConfig config_;
+  const policy::ProtectionPolicy* policy_;  ///< registry singleton
   const isa::Program* program_;
   memory::MainMemory* mem_;
   memory::PageTable* page_table_;

@@ -15,12 +15,21 @@ namespace safespec::experiment {
 
 // ---- spec -------------------------------------------------------------------
 
+ConfigVariant named_variant(
+    const sim::MachineSpec& base, const std::string& policy_name,
+    const std::function<void(cpu::CoreConfig&)>& mutate) {
+  policy::named_policy(policy_name);  // throws with the registered list
+  ConfigVariant v{policy_name, base.core};
+  v.config.policy = policy_name;
+  if (mutate) mutate(v.config);
+  return v;
+}
+
 ConfigVariant policy_variant(
     shadow::CommitPolicy policy,
     const std::function<void(cpu::CoreConfig&)>& mutate) {
-  ConfigVariant v{shadow::to_string(policy), sim::skylake_config(policy)};
-  if (mutate) mutate(v.config);
-  return v;
+  return named_variant(sim::machine_preset("skylake"),
+                       shadow::to_string(policy), mutate);
 }
 
 ExperimentSpec& ExperimentSpec::profiles(
@@ -43,15 +52,26 @@ ExperimentSpec& ExperimentSpec::profile_names(
   return profiles(std::move(selected));
 }
 
+ExperimentSpec& ExperimentSpec::base_machine(sim::MachineSpec machine) {
+  base_ = std::move(machine);
+  return *this;
+}
+
 ExperimentSpec& ExperimentSpec::variant(ConfigVariant v) {
   variants_.push_back(std::move(v));
   return *this;
 }
 
 ExperimentSpec& ExperimentSpec::policy(
+    const std::string& name,
+    const std::function<void(cpu::CoreConfig&)>& mutate) {
+  return variant(named_variant(base_, name, mutate));
+}
+
+ExperimentSpec& ExperimentSpec::policy(
     shadow::CommitPolicy p,
     const std::function<void(cpu::CoreConfig&)>& mutate) {
-  return variant(policy_variant(p, mutate));
+  return policy(std::string(shadow::to_string(p)), mutate);
 }
 
 ExperimentSpec& ExperimentSpec::instrs(std::uint64_t n) {
@@ -131,8 +151,28 @@ std::vector<sim::SimResult> ParallelRunner::run_cells(
 }
 
 SweepResult ParallelRunner::run(const ExperimentSpec& spec) const {
+  std::vector<std::string> variant_names;
+  variant_names.reserve(spec.variant_axis().size());
+  for (const auto& v : spec.variant_axis()) variant_names.push_back(v.name);
   return SweepResult(spec.profile_axis().size(), spec.variant_axis().size(),
-                     run_cells(spec.expand()));
+                     run_cells(spec.expand()), std::move(variant_names));
+}
+
+std::string SweepResult::stop_note(std::size_t profile) const {
+  std::string note;
+  for (std::size_t v = 0; v < num_variants_; ++v) {
+    const auto stop = at(profile, v).stop;
+    if (stop == cpu::StopReason::kHalted ||
+        stop == cpu::StopReason::kMaxInstrs) {
+      continue;  // converged
+    }
+    if (!note.empty()) note += ' ';
+    note += v < variant_names_.size() ? variant_names_[v]
+                                      : "v" + std::to_string(v);
+    note += ':';
+    note += cpu::to_string(stop);
+  }
+  return note;
 }
 
 // ---- result table -----------------------------------------------------------
@@ -194,6 +234,18 @@ void ResultTable::add_partial_row(
   rows_.push_back(std::move(row));
 }
 
+void ResultTable::annotate_last_row(const std::string& note) {
+  if (note.empty() || rows_.empty()) return;
+  rows_.back().note = note;
+}
+
+bool ResultTable::any_note() const {
+  for (const auto& row : rows_) {
+    if (!row.note.empty()) return true;
+  }
+  return false;
+}
+
 void ResultTable::print(std::FILE* out) const {
   std::fprintf(out, "\n%s\n", title_.c_str());
   std::fprintf(out, "%-12s", "benchmark");
@@ -206,14 +258,19 @@ void ResultTable::print(std::FILE* out) const {
     std::fprintf(out, "%-12s", row.name.c_str());
     for (const auto& cell : row.cells)
       std::fprintf(out, " %s", cell.text.c_str());
+    // Converged rows print exactly as they always did; a non-converged
+    // cell (cycle budget / fault) is flagged at the end of its row.
+    if (!row.note.empty()) std::fprintf(out, "  !%s", row.note.c_str());
     std::fprintf(out, "\n");
   }
 }
 
 void ResultTable::append_csv(std::FILE* out) const {
+  const bool notes = any_note();
   std::fprintf(out, "table,benchmark");
   for (const auto& c : columns_)
     std::fprintf(out, ",%s", csv_escape(c).c_str());
+  if (notes) std::fprintf(out, ",stop");
   std::fprintf(out, "\n");
   for (const auto& row : rows_) {
     std::fprintf(out, "%s,%s", csv_escape(title_).c_str(),
@@ -225,6 +282,7 @@ void ResultTable::append_csv(std::FILE* out) const {
         std::fprintf(out, ",");
       }
     }
+    if (notes) std::fprintf(out, ",%s", csv_escape(row.note).c_str());
     std::fprintf(out, "\n");
   }
 }
@@ -244,6 +302,9 @@ void ResultTable::append_json(std::vector<std::string>& items) const {
         obj += "null";
       }
     }
+    if (!row.note.empty()) {
+      obj += ",\"stop\":\"" + json_escape(row.note) + "\"";
+    }
     obj += "}";
     items.push_back(std::move(obj));
   }
@@ -256,13 +317,21 @@ namespace {
 void print_usage(const char* prog, const char* extra_usage, std::FILE* out) {
   std::fprintf(out,
                "usage: %s [--threads=N] [--csv=PATH] [--json=PATH] "
-               "[--instrs=N]%s%s\n"
-               "  --threads=N  worker threads for the sweep "
+               "[--instrs=N] [--config=FILE] [--set=key=value]%s%s\n"
+               "  --threads=N      worker threads for the sweep "
                "(default: hardware concurrency)\n"
-               "  --csv=PATH   also write every table as CSV\n"
-               "  --json=PATH  also write every table as JSON\n"
-               "  --instrs=N   committed instructions per cell "
-               "(default %llu)\n",
+               "  --csv=PATH       also write every table as CSV\n"
+               "  --json=PATH      also write every table as JSON\n"
+               "  --instrs=N       committed instructions per cell "
+               "(default %llu)\n"
+               "  --config=FILE    base machine as a MachineSpec JSON file\n"
+               "                   (default: the \"skylake\" preset)\n"
+               "  --set=key=value  override one machine field (repeatable):\n"
+               "                   preset=embedded, policy=WFB-stall,\n"
+               "                   rob_entries=64, shadow_dcache.entries=16,\n"
+               "                   ... (see MachineSpec::set); a bench whose\n"
+               "                   variant axis *is* the policy overrides\n"
+               "                   policy= per variant\n",
                prog, extra_usage ? " " : "", extra_usage ? extra_usage : "",
                static_cast<unsigned long long>(kInstrsPerRun));
 }
@@ -295,6 +364,14 @@ BenchOptions parse_bench_args(int argc, char** argv,
       opts.json_path = value;
     } else if (flag_value(arg, "--instrs", &value)) {
       opts.instrs = std::strtoull(value, nullptr, 10);
+    } else if (flag_value(arg, "--config", &value)) {
+      opts.config_path = value;
+    } else if (flag_value(arg, "--set", &value)) {
+      opts.overrides.emplace_back(value);
+    } else if (std::strcmp(arg, "--set") == 0 && i + 1 < argc) {
+      opts.overrides.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--config") == 0 && i + 1 < argc) {
+      opts.config_path = argv[++i];
     } else if (std::strncmp(arg, "--", 2) == 0) {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       print_usage(argv[0], extra_usage, stderr);
@@ -304,6 +381,28 @@ BenchOptions parse_bench_args(int argc, char** argv,
     }
   }
   return opts;
+}
+
+sim::MachineSpec resolve_machine(const BenchOptions& options) {
+  try {
+    sim::MachineSpec spec =
+        options.config_path.empty()
+            ? sim::machine_preset("skylake")
+            : sim::MachineSpec::from_json_file(options.config_path);
+    for (const auto& kv : options.overrides) spec.set(kv);
+    spec.validate();
+    if (!spec.regions.empty() || !spec.pokes.empty()) {
+      // Workload sweeps generate their own address space per cell; only
+      // MachineBuilder-driven runs honour a spec's memory map.
+      std::fprintf(stderr,
+                   "note: memory_map/pokes in the machine config are "
+                   "ignored by workload sweeps\n");
+    }
+    return spec;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad machine configuration: %s\n", e.what());
+    std::exit(2);
+  }
 }
 
 void emit_tables(const std::vector<const ResultTable*>& tables,

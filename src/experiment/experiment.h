@@ -16,6 +16,7 @@
 
 #include "cpu/core.h"
 #include "safespec/shadow_structures.h"
+#include "sim/machine.h"
 #include "sim/sim_config.h"
 #include "sim/simulator.h"
 #include "workloads/workload.h"
@@ -36,8 +37,16 @@ struct ConfigVariant {
   cpu::CoreConfig config;
 };
 
-/// skylake_config(policy) under its canonical short name ("baseline" /
-/// "WFB" / "WFC"); `mutate` applies any further CoreConfig edits.
+/// `base` with the named protection policy selected, under the policy
+/// name as display name; `mutate` applies any further CoreConfig edits.
+/// Throws std::out_of_range (listing the registered policies) on an
+/// unknown name.
+ConfigVariant named_variant(
+    const sim::MachineSpec& base, const std::string& policy_name,
+    const std::function<void(cpu::CoreConfig&)>& mutate = nullptr);
+
+/// Legacy shorthand: the "skylake" preset under the enum's canonical
+/// short name ("baseline" / "WFB" / "WFC").
 ConfigVariant policy_variant(
     shadow::CommitPolicy policy,
     const std::function<void(cpu::CoreConfig&)>& mutate = nullptr);
@@ -66,8 +75,19 @@ class ExperimentSpec {
   /// Subset by name (throws std::out_of_range on an unknown name).
   ExperimentSpec& profile_names(const std::vector<std::string>& names);
 
+  /// Base machine every subsequent policy() variant derives from
+  /// (default: the "skylake" preset). Benches pass resolve_machine(opts)
+  /// here so --config / --set reshape the whole sweep.
+  ExperimentSpec& base_machine(sim::MachineSpec machine);
+  const sim::MachineSpec& machine() const { return base_; }
+
   ExperimentSpec& variant(ConfigVariant v);
-  /// Shorthand for variant(policy_variant(policy, mutate)).
+  /// Shorthand for variant(named_variant(machine(), name, mutate)):
+  /// one point on the configuration axis, selected by registry name.
+  ExperimentSpec& policy(
+      const std::string& name,
+      const std::function<void(cpu::CoreConfig&)>& mutate = nullptr);
+  /// Legacy enum shorthand (same variant names as the string form).
   ExperimentSpec& policy(
       shadow::CommitPolicy p,
       const std::function<void(cpu::CoreConfig&)>& mutate = nullptr);
@@ -85,6 +105,7 @@ class ExperimentSpec {
   std::vector<Cell> expand() const;
 
  private:
+  sim::MachineSpec base_ = sim::machine_preset("skylake");
   std::vector<workloads::WorkloadProfile> profiles_;
   std::vector<ConfigVariant> variants_;
   std::uint64_t instrs_ = kInstrsPerRun;
@@ -96,10 +117,12 @@ class ExperimentSpec {
 class SweepResult {
  public:
   SweepResult(std::size_t num_profiles, std::size_t num_variants,
-              std::vector<sim::SimResult> results)
+              std::vector<sim::SimResult> results,
+              std::vector<std::string> variant_names = {})
       : num_profiles_(num_profiles),
         num_variants_(num_variants),
-        results_(std::move(results)) {}
+        results_(std::move(results)),
+        variant_names_(std::move(variant_names)) {}
 
   const sim::SimResult& at(std::size_t profile, std::size_t variant) const {
     return results_[profile * num_variants_ + variant];
@@ -108,10 +131,17 @@ class SweepResult {
   std::size_t num_profiles() const { return num_profiles_; }
   std::size_t num_variants() const { return num_variants_; }
 
+  /// "" when every cell of the profile's row converged (halted or
+  /// reached its instruction budget); otherwise space-joined
+  /// "variant:stop-reason" fragments for the cells that did not — row
+  /// annotations making non-converged cells visible in every sink.
+  std::string stop_note(std::size_t profile) const;
+
  private:
   std::size_t num_profiles_;
   std::size_t num_variants_;
   std::vector<sim::SimResult> results_;
+  std::vector<std::string> variant_names_;
 };
 
 /// Thread-pool sweep executor. Each cell constructs its own Simulator
@@ -165,6 +195,11 @@ class ResultTable {
                        const std::vector<std::optional<double>>& values,
                        const char* format = "%12.4f");
 
+  /// Attaches a note to the most recently added row (no-op on "").
+  /// Benches feed SweepResult::stop_note() here so a cell that hit the
+  /// cycle budget or faulted is flagged in text, CSV and JSON output.
+  void annotate_last_row(const std::string& note);
+
   const std::string& title() const { return title_; }
   std::size_t num_rows() const { return rows_.size(); }
 
@@ -185,7 +220,9 @@ class ResultTable {
   struct Row {
     std::string name;
     std::vector<Cell> cells;
+    std::string note;  ///< e.g. "WFC:max-cycles"; "" on converged rows
   };
+  bool any_note() const;
 
   std::string title_;
   std::vector<std::string> columns_;
@@ -195,12 +232,14 @@ class ResultTable {
 // ---- CLI --------------------------------------------------------------------
 
 /// Options every bench accepts: --threads=N, --csv=PATH, --json=PATH,
-/// --instrs=N, --help.
+/// --instrs=N, --config=FILE, --set=key=value (repeatable), --help.
 struct BenchOptions {
   int threads = 0;               ///< 0 = hardware concurrency
   std::string csv_path;          ///< empty = no CSV emission
   std::string json_path;         ///< empty = no JSON emission
   std::uint64_t instrs = kInstrsPerRun;
+  std::string config_path;       ///< --config: MachineSpec JSON file
+  std::vector<std::string> overrides;  ///< --set key=value, in order
   std::vector<std::string> positional;
 };
 
@@ -208,6 +247,12 @@ struct BenchOptions {
 /// unknown --flag. Positional arguments pass through untouched.
 BenchOptions parse_bench_args(int argc, char** argv,
                               const char* extra_usage = nullptr);
+
+/// The machine the options describe: --config's JSON file (default: the
+/// "skylake" preset) with every --set override applied in order, then
+/// validated. Prints the problem and exits(2) on bad input — benches
+/// call this once, right after parse_bench_args.
+sim::MachineSpec resolve_machine(const BenchOptions& options);
 
 /// Writes every table once to each requested sink: aligned text to
 /// stdout, plus CSV/JSON files when the options ask for them.

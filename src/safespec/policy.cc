@@ -1,0 +1,95 @@
+#include "safespec/policy.h"
+
+#include <utility>
+
+#include "common/registry.h"
+
+namespace safespec::policy {
+
+namespace {
+
+class BaselinePolicy final : public ProtectionPolicy {
+ public:
+  const char* name() const override { return "baseline"; }
+  const char* description() const override {
+    return "insecure out-of-order baseline: speculative fills go straight "
+           "into the primary caches/TLBs";
+  }
+  bool shadows_speculation() const override { return false; }
+  bool promote_at_branch_resolution() const override { return false; }
+};
+
+class WfbPolicy final : public ProtectionPolicy {
+ public:
+  const char* name() const override { return "WFB"; }
+  const char* description() const override {
+    return "wait-for-branch: shadow state promotes once every older "
+           "branch has resolved";
+  }
+  bool shadows_speculation() const override { return true; }
+  bool promote_at_branch_resolution() const override { return true; }
+};
+
+class WfcPolicy final : public ProtectionPolicy {
+ public:
+  const char* name() const override { return "WFC"; }
+  const char* description() const override {
+    return "wait-for-commit: shadow state promotes only when its "
+           "producing instruction commits";
+  }
+  bool shadows_speculation() const override { return true; }
+  bool promote_at_branch_resolution() const override { return false; }
+};
+
+class WfbStallPolicy final : public ProtectionPolicy {
+ public:
+  const char* name() const override { return "WFB-stall"; }
+  const char* description() const override {
+    return "wait-for-branch with stall-on-full shadows: undersized "
+           "tables stall the requester instead of dropping (closes the "
+           "TSA drop channel, §V)";
+  }
+  bool shadows_speculation() const override { return true; }
+  bool promote_at_branch_resolution() const override { return true; }
+  std::optional<shadow::FullPolicy> full_policy_override() const override {
+    return shadow::FullPolicy::kStall;
+  }
+};
+
+NamedRegistry<std::unique_ptr<const ProtectionPolicy>>& registry() {
+  static auto* r = [] {
+    auto* reg = new NamedRegistry<std::unique_ptr<const ProtectionPolicy>>(
+        "protection policy");
+    auto add = [&](std::unique_ptr<const ProtectionPolicy> p) {
+      const std::string key = p->name();
+      reg->add(key, std::move(p));
+    };
+    add(std::make_unique<BaselinePolicy>());
+    add(std::make_unique<WfbPolicy>());
+    add(std::make_unique<WfcPolicy>());
+    add(std::make_unique<WfbStallPolicy>());
+    return reg;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+const ProtectionPolicy& named_policy(const std::string& name) {
+  return *registry().at(name);
+}
+
+bool is_registered_policy(const std::string& name) {
+  return registry().contains(name);
+}
+
+std::vector<std::string> registered_policy_names() {
+  return registry().names();
+}
+
+void register_policy(std::unique_ptr<const ProtectionPolicy> policy) {
+  const std::string key = policy->name();
+  registry().add(key, std::move(policy));
+}
+
+}  // namespace safespec::policy

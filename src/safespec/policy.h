@@ -1,0 +1,95 @@
+// Pluggable protection policies (§III, §IV-B).
+//
+// The paper evaluates a *family* of protection designs — insecure
+// baseline, wait-for-branch and wait-for-commit, crossed with shadow
+// sizing and full-table handling. Rather than hard-coding that family as
+// an enum switched inside cpu::Core, each member is a ProtectionPolicy:
+// an object answering the four decision points the core consults —
+//
+//   * may speculative fills go straight into the primary structures?
+//     (shadows_speculation: the baseline answers no-shadowing)
+//   * when does an instruction's shadow state become promotable?
+//     (promote_at_branch_resolution: WFB promotes once no older branch
+//     is unresolved; WFC only at the instruction's own commit)
+//   * what happens to shadow state on squash?
+//     (annul_on_squash: every SafeSpec policy annuls in place, Fig 3)
+//   * what happens when a shadow table fills up?
+//     (full_policy_override: §V — drop the update or stall the
+//     requester; nullopt keeps the per-structure configuration)
+//
+// Policies are stateless singletons registered under a string key, so a
+// new variant is selectable from a config file or --set flag without
+// recompiling anything that builds machines. The registry ships the
+// three paper policies plus "WFB-stall" (WFB whose shadows stall on
+// full — the §V closure of the TSA channel applied to WFB sizing
+// studies).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "safespec/shadow_structures.h"
+
+namespace safespec::policy {
+
+/// One member of the protection-design family. Implementations are
+/// stateless and shared by every core built with the policy's name.
+class ProtectionPolicy {
+ public:
+  virtual ~ProtectionPolicy() = default;
+
+  /// Registry key ("baseline", "WFB", "WFC", "WFB-stall", ...).
+  virtual const char* name() const = 0;
+  virtual const char* description() const = 0;
+
+  /// False for the insecure baseline: speculative fills go straight
+  /// into the primary caches/TLBs and no shadow state exists.
+  virtual bool shadows_speculation() const = 0;
+
+  /// True for wait-for-branch: shadow state is promotable as soon as no
+  /// older branch is unresolved. False for wait-for-commit: promotion
+  /// happens only when the producing instruction commits.
+  virtual bool promote_at_branch_resolution() const = 0;
+
+  /// Squash handling: true (every shipped policy) annuls shadow state in
+  /// place; false would promote it anyway — the insecure strawman a
+  /// sizing ablation can use to isolate the cost of annulment.
+  virtual bool annul_on_squash() const { return true; }
+
+  /// Full-table handling this policy imposes on every shadow structure
+  /// (§V); nullopt keeps the per-structure configuration.
+  virtual std::optional<shadow::FullPolicy> full_policy_override() const {
+    return std::nullopt;
+  }
+
+  /// Applies full_policy_override() to one shadow-structure config.
+  void tune(shadow::ShadowConfig& config) const {
+    if (const auto fp = full_policy_override()) config.full_policy = *fp;
+  }
+
+  /// The legacy enum value this policy's promotion semantics correspond
+  /// to (attack PoCs and older tests still speak CommitPolicy).
+  shadow::CommitPolicy commit_policy() const {
+    if (!shadows_speculation()) return shadow::CommitPolicy::kBaseline;
+    return promote_at_branch_resolution() ? shadow::CommitPolicy::kWFB
+                                          : shadow::CommitPolicy::kWFC;
+  }
+};
+
+/// Looks up a registered policy. Throws std::out_of_range with a message
+/// listing every registered name when `name` is unknown.
+const ProtectionPolicy& named_policy(const std::string& name);
+
+bool is_registered_policy(const std::string& name);
+
+/// All registered names, sorted (the three paper policies plus any
+/// registered variants).
+std::vector<std::string> registered_policy_names();
+
+/// Registers a new policy under policy->name(). Throws
+/// std::invalid_argument if the name is already taken.
+void register_policy(std::unique_ptr<const ProtectionPolicy> policy);
+
+}  // namespace safespec::policy

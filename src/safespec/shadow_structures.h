@@ -155,7 +155,8 @@ class ShadowTable {
     }
   }
 
-  const Payload& payload(EntryId id) const { return entry(id).key_payload(); }
+  /// Alias of payload_of() (the historical accessor name).
+  const Payload& payload(EntryId id) const { return entry(id).payload; }
   Addr key(EntryId id) const { return entry(id).key; }
   const Payload& payload_of(EntryId id) const { return entry(id).payload; }
   bool is_promoted(EntryId id) const { return entry(id).promoted; }

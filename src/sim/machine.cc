@@ -1,0 +1,1050 @@
+#include "sim/machine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/registry.h"
+#include "safespec/policy.h"
+#include "sim/sim_config.h"
+
+namespace safespec::sim {
+
+namespace {
+
+// ---- minimal JSON ----------------------------------------------------------
+// A self-contained value type + recursive-descent parser covering the
+// subset MachineSpec documents use (objects, arrays, strings, numbers,
+// booleans, null). Numbers keep their raw token so 64-bit addresses
+// round-trip exactly; quoted "0x..." strings are accepted wherever an
+// integer is expected, so memory maps can be written in hex.
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  std::string text;  ///< raw number token or string contents
+  std::vector<Json> array;
+  std::vector<std::pair<std::string, Json>> object;
+
+  const Json* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse() {
+    Json value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("JSON error at offset " +
+                                std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: fail("unsupported escape sequence");
+        }
+      }
+      out += c;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    Json value;
+    if (c == '{') {
+      value.kind = Json::Kind::kObject;
+      ++pos_;
+      if (peek() == '}') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        std::string key = parse_string();
+        expect(':');
+        value.object.emplace_back(std::move(key), parse_value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return value;
+      }
+    }
+    if (c == '[') {
+      value.kind = Json::Kind::kArray;
+      ++pos_;
+      if (peek() == ']') {
+        ++pos_;
+        return value;
+      }
+      for (;;) {
+        value.array.push_back(parse_value());
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return value;
+      }
+    }
+    if (c == '"') {
+      value.kind = Json::Kind::kString;
+      value.text = parse_string();
+      return value;
+    }
+    if (consume_literal("true")) {
+      value.kind = Json::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (consume_literal("false")) {
+      value.kind = Json::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (consume_literal("null")) return value;
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      value.kind = Json::Kind::kNumber;
+      const std::size_t start = pos_;
+      if (text_[pos_] == '-') ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.' || text_[pos_] == 'e' ||
+              text_[pos_] == 'E' || text_[pos_] == '+' ||
+              text_[pos_] == '-')) {
+        ++pos_;
+      }
+      value.text = text_.substr(start, pos_ - start);
+      return value;
+    }
+    fail("unexpected character");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+// ---- typed field readers ---------------------------------------------------
+
+std::uint64_t parse_u64(const std::string& token, const std::string& where) {
+  char* end = nullptr;
+  const int base = token.compare(0, 2, "0x") == 0 ? 16 : 10;
+  errno = 0;
+  const std::uint64_t value = std::strtoull(token.c_str(), &end, base);
+  // strtoull silently wraps "-5" to 2^64-5; every field here is a size,
+  // count or latency, so a sign is always a mistake worth diagnosing.
+  if (end == token.c_str() || *end != '\0' || token[0] == '-' ||
+      errno == ERANGE) {
+    throw std::invalid_argument("expected a non-negative integer for \"" +
+                                where + "\", got \"" + token + "\"");
+  }
+  return value;
+}
+
+std::uint64_t as_u64(const Json& v, const std::string& where) {
+  if (v.kind != Json::Kind::kNumber && v.kind != Json::Kind::kString) {
+    throw std::invalid_argument("expected a number for \"" + where + "\"");
+  }
+  return parse_u64(v.text, where);
+}
+
+void read_u64(const Json& obj, const char* key, std::uint64_t& out) {
+  if (const Json* v = obj.find(key)) out = as_u64(*v, key);
+}
+
+void read_int(const Json& obj, const char* key, int& out) {
+  if (const Json* v = obj.find(key)) {
+    out = static_cast<int>(as_u64(*v, key));
+  }
+}
+
+void read_cycle(const Json& obj, const char* key, Cycle& out) {
+  if (const Json* v = obj.find(key)) out = as_u64(*v, key);
+}
+
+void read_bool(const Json& obj, const char* key, bool& out) {
+  if (const Json* v = obj.find(key)) {
+    if (v->kind != Json::Kind::kBool) {
+      throw std::invalid_argument(std::string("expected true/false for \"") +
+                                  key + "\"");
+    }
+    out = v->boolean;
+  }
+}
+
+void read_string(const Json& obj, const char* key, std::string& out) {
+  if (const Json* v = obj.find(key)) {
+    if (v->kind != Json::Kind::kString) {
+      throw std::invalid_argument(std::string("expected a string for \"") +
+                                  key + "\"");
+    }
+    out = v->text;
+  }
+}
+
+shadow::FullPolicy parse_full_policy(const std::string& text) {
+  if (text == "drop") return shadow::FullPolicy::kDrop;
+  if (text == "stall") return shadow::FullPolicy::kStall;
+  throw std::invalid_argument("unknown full_policy \"" + text +
+                              "\" (expected drop or stall)");
+}
+
+predictor::DirectionKind parse_direction_kind(const std::string& text) {
+  if (text == "bimodal") return predictor::DirectionKind::kBimodal;
+  if (text == "gshare") return predictor::DirectionKind::kGshare;
+  if (text == "perceptron") return predictor::DirectionKind::kPerceptron;
+  throw std::invalid_argument("unknown predictor direction \"" + text +
+                              "\" (expected bimodal, gshare or perceptron)");
+}
+
+const char* direction_kind_name(predictor::DirectionKind kind) {
+  switch (kind) {
+    case predictor::DirectionKind::kBimodal: return "bimodal";
+    case predictor::DirectionKind::kGshare: return "gshare";
+    case predictor::DirectionKind::kPerceptron: return "perceptron";
+  }
+  return "?";
+}
+
+void read_cache(const Json& parent, const char* key,
+                memory::CacheConfig& cache) {
+  if (const Json* v = parent.find(key)) {
+    read_u64(*v, "size_bytes", cache.size_bytes);
+    read_int(*v, "ways", cache.ways);
+    read_int(*v, "line_bytes", cache.line_bytes);
+    read_cycle(*v, "hit_latency", cache.hit_latency);
+  }
+}
+
+void read_tlb(const Json& parent, const char* key, memory::TlbConfig& tlb) {
+  if (const Json* v = parent.find(key)) {
+    read_int(*v, "entries", tlb.entries);
+    read_int(*v, "ways", tlb.ways);
+  }
+}
+
+void read_shadow(const Json& parent, const char* key,
+                 shadow::ShadowConfig& config) {
+  if (const Json* v = parent.find(key)) {
+    read_int(*v, "entries", config.entries);
+    std::string full;
+    read_string(*v, "full_policy", full);
+    if (!full.empty()) config.full_policy = parse_full_policy(full);
+  }
+}
+
+// ---- JSON writing ----------------------------------------------------------
+
+class JsonWriter {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void open(const char* key = nullptr) { open_scope(key, '{'); }
+  void open_array(const char* key) { open_scope(key, '['); }
+  void close() { close_scope('}'); }
+  void close_array() { close_scope(']'); }
+
+  void field(const char* key, std::uint64_t value) {
+    item(key, std::to_string(value));
+  }
+  void field(const char* key, int value) { item(key, std::to_string(value)); }
+  void field(const char* key, bool value) {
+    item(key, value ? "true" : "false");
+  }
+  void field(const char* key, const std::string& value) {
+    std::string escaped = "\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    item(key, escaped);
+  }
+  void field(const char* key, const char* value) {
+    field(key, std::string(value));
+  }
+
+ private:
+  void open_scope(const char* key, char bracket) {
+    begin_item();
+    if (key != nullptr) out_ += std::string("\"") + key + "\": ";
+    out_ += bracket;
+    ++depth_;
+    fresh_scope_ = true;
+  }
+
+  void close_scope(char bracket) {
+    --depth_;
+    if (!fresh_scope_) {
+      out_ += '\n';
+      indent();
+    }
+    out_ += bracket;
+    fresh_scope_ = false;
+  }
+
+  void item(const char* key, const std::string& rendered) {
+    begin_item();
+    if (key != nullptr) out_ += std::string("\"") + key + "\": ";
+    out_ += rendered;
+  }
+
+  void begin_item() {
+    if (depth_ > 0) {
+      if (!fresh_scope_) out_ += ',';
+      out_ += '\n';
+      indent();
+    }
+    fresh_scope_ = false;
+  }
+
+  void indent() { out_.append(static_cast<std::size_t>(depth_) * 2, ' '); }
+
+  std::string out_;
+  int depth_ = 0;
+  bool fresh_scope_ = false;
+};
+
+// ---- preset registry -------------------------------------------------------
+
+/// Tables I and II: the 6-wide SkyLake-like core the paper evaluates
+/// (formerly the body of skylake_config(), which now wraps this preset).
+MachineSpec skylake_preset() {
+  MachineSpec spec;
+  spec.preset = "skylake";
+  cpu::CoreConfig& c = spec.core;
+  // Table I.
+  c.issue_width = 6;
+  c.fetch_width = 6;
+  c.commit_width = 6;
+  c.iq_entries = 96;
+  c.rob_entries = 224;
+  c.ldq_entries = 72;
+  c.stq_entries = 56;
+  c.itlb = {.name = "iTLB", .entries = 64, .ways = 4};
+  c.dtlb = {.name = "dTLB", .entries = 64, .ways = 4};
+  // Table II (line size 64 B everywhere).
+  c.hierarchy.l1i = {.name = "L1I", .size_bytes = 32 * 1024, .ways = 8,
+                     .line_bytes = 64, .hit_latency = 4};
+  c.hierarchy.l1d = {.name = "L1D", .size_bytes = 32 * 1024, .ways = 8,
+                     .line_bytes = 64, .hit_latency = 4};
+  c.hierarchy.l2 = {.name = "L2", .size_bytes = 256 * 1024, .ways = 4,
+                    .line_bytes = 64, .hit_latency = 12};
+  c.hierarchy.l3 = {.name = "L3", .size_bytes = 2 * 1024 * 1024, .ways = 16,
+                    .line_bytes = 64, .hit_latency = 44};
+  c.hierarchy.memory_latency = 191;
+  // SafeSpec: worst-case ("Secure") sizing, LDQ-/ROB-bound (§V).
+  c.shadow_dcache = {.name = "shadow-dcache", .entries = c.ldq_entries};
+  c.shadow_icache = {.name = "shadow-icache", .entries = c.rob_entries};
+  c.shadow_dtlb = {.name = "shadow-dtlb", .entries = c.ldq_entries};
+  c.shadow_itlb = {.name = "shadow-itlb", .entries = c.rob_entries};
+  return spec;
+}
+
+/// A little 2-wide embedded-class core: shallow queues, small caches, a
+/// bimodal predictor — the second preset the sweep axes can name. Shadow
+/// structures keep the §V worst-case bound for *this* machine (d-side =
+/// LDQ = 12, i-side = ROB = 32).
+MachineSpec embedded_preset() {
+  MachineSpec spec;
+  spec.preset = "embedded";
+  cpu::CoreConfig& c = spec.core;
+  c.fetch_width = 2;
+  c.issue_width = 2;
+  c.commit_width = 2;
+  c.iq_entries = 16;
+  c.rob_entries = 32;
+  c.ldq_entries = 12;
+  c.stq_entries = 8;
+  c.fetch_to_dispatch_delay = 3;
+  c.commit_delay = 2;
+  c.itlb = {.name = "iTLB", .entries = 16, .ways = 4};
+  c.dtlb = {.name = "dTLB", .entries = 16, .ways = 4};
+  c.hierarchy.l1i = {.name = "L1I", .size_bytes = 8 * 1024, .ways = 2,
+                     .line_bytes = 32, .hit_latency = 2};
+  c.hierarchy.l1d = {.name = "L1D", .size_bytes = 8 * 1024, .ways = 2,
+                     .line_bytes = 32, .hit_latency = 2};
+  c.hierarchy.l2 = {.name = "L2", .size_bytes = 64 * 1024, .ways = 4,
+                    .line_bytes = 32, .hit_latency = 8};
+  c.hierarchy.l3 = {.name = "L3", .size_bytes = 512 * 1024, .ways = 8,
+                    .line_bytes = 32, .hit_latency = 24};
+  c.hierarchy.memory_latency = 100;
+  c.predictor.direction = {.kind = predictor::DirectionKind::kBimodal,
+                           .table_bits = 10};
+  c.predictor.btb = {.entries = 256, .ways = 4};
+  c.predictor.rsb_depth = 8;
+  c.shadow_dcache = {.name = "shadow-dcache", .entries = c.ldq_entries};
+  c.shadow_icache = {.name = "shadow-icache", .entries = c.rob_entries};
+  c.shadow_dtlb = {.name = "shadow-dtlb", .entries = c.ldq_entries};
+  c.shadow_itlb = {.name = "shadow-itlb", .entries = c.rob_entries};
+  return spec;
+}
+
+NamedRegistry<std::function<MachineSpec()>>& preset_registry() {
+  static auto* r = [] {
+    auto* reg =
+        new NamedRegistry<std::function<MachineSpec()>>("machine preset");
+    reg->add("skylake", skylake_preset);
+    reg->add("embedded", embedded_preset);
+    return reg;
+  }();
+  return *r;
+}
+
+void validate_cache(const memory::CacheConfig& c) {
+  if (c.size_bytes == 0 || c.ways <= 0 || c.line_bytes <= 0) {
+    throw std::invalid_argument(c.name + ": size, ways and line_bytes must "
+                                         "be positive");
+  }
+  if (c.num_sets() <= 0 ||
+      c.size_bytes % (static_cast<std::uint64_t>(c.ways) *
+                      static_cast<std::uint64_t>(c.line_bytes)) != 0) {
+    throw std::invalid_argument(
+        c.name + ": size_bytes must be a positive multiple of "
+                 "ways * line_bytes");
+  }
+}
+
+void validate_tlb(const memory::TlbConfig& t) {
+  if (t.entries <= 0 || t.ways <= 0 || t.entries % t.ways != 0) {
+    throw std::invalid_argument(t.name + ": entries must be a positive "
+                                         "multiple of ways");
+  }
+}
+
+}  // namespace
+
+// ---- MachineSpec -----------------------------------------------------------
+
+void MachineSpec::validate() const {
+  const cpu::CoreConfig& c = core;
+  const struct {
+    const char* name;
+    int value;
+  } positives[] = {
+      {"fetch_width", c.fetch_width},   {"issue_width", c.issue_width},
+      {"commit_width", c.commit_width}, {"iq_entries", c.iq_entries},
+      {"rob_entries", c.rob_entries},   {"ldq_entries", c.ldq_entries},
+      {"stq_entries", c.stq_entries},
+  };
+  for (const auto& p : positives) {
+    if (p.value <= 0) {
+      throw std::invalid_argument(std::string(p.name) +
+                                  " must be positive, got " +
+                                  std::to_string(p.value));
+    }
+  }
+  if (c.fetch_to_dispatch_delay < 0 || c.commit_delay < 0) {
+    throw std::invalid_argument("pipeline delays must be non-negative");
+  }
+
+  validate_cache(c.hierarchy.l1i);
+  validate_cache(c.hierarchy.l1d);
+  validate_cache(c.hierarchy.l2);
+  validate_cache(c.hierarchy.l3);
+  validate_tlb(c.itlb);
+  validate_tlb(c.dtlb);
+
+  if (!policy::is_registered_policy(c.policy)) {
+    // Re-throwing through named_policy produces the message that lists
+    // every registered policy.
+    policy::named_policy(c.policy);
+  }
+
+  const struct {
+    const shadow::ShadowConfig* config;
+    int secure_bound;
+    const char* bound_name;
+  } shadows[] = {
+      {&c.shadow_dcache, c.ldq_entries, "LDQ"},
+      {&c.shadow_dtlb, c.ldq_entries, "LDQ"},
+      {&c.shadow_icache, c.rob_entries, "ROB"},
+      {&c.shadow_itlb, c.rob_entries, "ROB"},
+  };
+  for (const auto& s : shadows) {
+    if (s.config->entries <= 0) {
+      throw std::invalid_argument(s.config->name +
+                                  ": entries must be positive");
+    }
+    if (s.config->entries < s.secure_bound && !allow_undersized_shadows) {
+      throw std::invalid_argument(
+          s.config->name + ": " + std::to_string(s.config->entries) +
+          " entries is below the secure bound (" + s.bound_name + " = " +
+          std::to_string(s.secure_bound) +
+          ", §V) — set allow_undersized_shadows to study TSA sizing");
+    }
+  }
+
+  std::vector<MemRegion> sorted = regions;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const MemRegion& a, const MemRegion& b) {
+              return a.base < b.base;
+            });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (sorted[i].bytes == 0) {
+      throw std::invalid_argument("memory-map region at base " +
+                                  std::to_string(sorted[i].base) +
+                                  " has zero bytes");
+    }
+    // base + bytes must not wrap, or the overlap comparison below (and
+    // map_region's page loop) would silently misbehave.
+    if (sorted[i].base + sorted[i].bytes < sorted[i].base) {
+      std::ostringstream oss;
+      oss << "memory-map region [0x" << std::hex << sorted[i].base
+          << ", +0x" << sorted[i].bytes << ") wraps the address space";
+      throw std::invalid_argument(oss.str());
+    }
+    if (i > 0 &&
+        sorted[i - 1].base + sorted[i - 1].bytes > sorted[i].base) {
+      std::ostringstream oss;
+      oss << "memory-map regions overlap: [0x" << std::hex
+          << sorted[i - 1].base << ", +0x" << sorted[i - 1].bytes
+          << ") and [0x" << sorted[i].base << ", +0x" << sorted[i].bytes
+          << ")";
+      throw std::invalid_argument(oss.str());
+    }
+  }
+}
+
+std::string MachineSpec::to_json() const {
+  const cpu::CoreConfig& c = core;
+  JsonWriter w;
+  w.open();
+  w.field("preset", preset);
+  w.field("policy", c.policy);
+  w.field("allow_undersized_shadows", allow_undersized_shadows);
+  w.field("map_text", map_text);
+
+  w.open("core");
+  w.field("fetch_width", c.fetch_width);
+  w.field("issue_width", c.issue_width);
+  w.field("commit_width", c.commit_width);
+  w.field("iq_entries", c.iq_entries);
+  w.field("rob_entries", c.rob_entries);
+  w.field("ldq_entries", c.ldq_entries);
+  w.field("stq_entries", c.stq_entries);
+  w.field("fetch_to_dispatch_delay", c.fetch_to_dispatch_delay);
+  w.field("commit_delay", c.commit_delay);
+  w.field("alu_latency", c.alu_latency);
+  w.field("mul_latency", c.mul_latency);
+  w.field("div_latency", c.div_latency);
+  w.field("shadow_hit_latency", c.shadow_hit_latency);
+  w.close();
+
+  w.open("caches");
+  const struct {
+    const char* key;
+    const memory::CacheConfig* cache;
+  } caches[] = {{"l1i", &c.hierarchy.l1i},
+                {"l1d", &c.hierarchy.l1d},
+                {"l2", &c.hierarchy.l2},
+                {"l3", &c.hierarchy.l3}};
+  for (const auto& entry : caches) {
+    w.open(entry.key);
+    w.field("size_bytes", entry.cache->size_bytes);
+    w.field("ways", entry.cache->ways);
+    w.field("line_bytes", entry.cache->line_bytes);
+    w.field("hit_latency", entry.cache->hit_latency);
+    w.close();
+  }
+  w.field("memory_latency", c.hierarchy.memory_latency);
+  w.close();
+
+  w.open("tlbs");
+  const struct {
+    const char* key;
+    const memory::TlbConfig* tlb;
+  } tlbs[] = {{"itlb", &c.itlb}, {"dtlb", &c.dtlb}};
+  for (const auto& entry : tlbs) {
+    w.open(entry.key);
+    w.field("entries", entry.tlb->entries);
+    w.field("ways", entry.tlb->ways);
+    w.close();
+  }
+  w.close();
+
+  w.open("shadows");
+  const struct {
+    const char* key;
+    const shadow::ShadowConfig* config;
+  } shadows[] = {{"dcache", &c.shadow_dcache},
+                 {"icache", &c.shadow_icache},
+                 {"dtlb", &c.shadow_dtlb},
+                 {"itlb", &c.shadow_itlb}};
+  for (const auto& entry : shadows) {
+    w.open(entry.key);
+    w.field("entries", entry.config->entries);
+    w.field("full_policy", shadow::to_string(entry.config->full_policy));
+    w.close();
+  }
+  w.close();
+
+  w.open("predictor");
+  w.field("direction", direction_kind_name(c.predictor.direction.kind));
+  w.field("table_bits", c.predictor.direction.table_bits);
+  w.field("history_bits", c.predictor.direction.history_bits);
+  w.field("perceptron_weights", c.predictor.direction.perceptron_weights);
+  w.field("btb_entries", c.predictor.btb.entries);
+  w.field("btb_ways", c.predictor.btb.ways);
+  w.field("rsb_depth", c.predictor.rsb_depth);
+  w.close();
+
+  w.open_array("memory_map");
+  for (const MemRegion& region : regions) {
+    w.open();
+    w.field("base", region.base);
+    w.field("bytes", region.bytes);
+    w.field("kernel", region.perm == memory::PagePerm::kKernel);
+    w.close();
+  }
+  w.close_array();
+
+  w.open_array("pokes");
+  for (const Poke& poke : pokes) {
+    w.open();
+    w.field("addr", poke.addr);
+    w.field("value", poke.value);
+    w.close();
+  }
+  w.close_array();
+
+  w.close();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+MachineSpec MachineSpec::from_json(const std::string& text) {
+  const Json doc = JsonParser(text).parse();
+  if (doc.kind != Json::Kind::kObject) {
+    throw std::invalid_argument("machine spec must be a JSON object");
+  }
+
+  // Unlisted fields keep the preset's values, so a config file only
+  // needs the deltas it cares about.
+  std::string preset_name = "skylake";
+  read_string(doc, "preset", preset_name);
+  MachineSpec spec = machine_preset(preset_name);
+  cpu::CoreConfig& c = spec.core;
+
+  read_string(doc, "policy", c.policy);
+  read_bool(doc, "allow_undersized_shadows", spec.allow_undersized_shadows);
+  read_bool(doc, "map_text", spec.map_text);
+
+  if (const Json* core = doc.find("core")) {
+    read_int(*core, "fetch_width", c.fetch_width);
+    read_int(*core, "issue_width", c.issue_width);
+    read_int(*core, "commit_width", c.commit_width);
+    read_int(*core, "iq_entries", c.iq_entries);
+    read_int(*core, "rob_entries", c.rob_entries);
+    read_int(*core, "ldq_entries", c.ldq_entries);
+    read_int(*core, "stq_entries", c.stq_entries);
+    read_int(*core, "fetch_to_dispatch_delay", c.fetch_to_dispatch_delay);
+    read_int(*core, "commit_delay", c.commit_delay);
+    read_cycle(*core, "alu_latency", c.alu_latency);
+    read_cycle(*core, "mul_latency", c.mul_latency);
+    read_cycle(*core, "div_latency", c.div_latency);
+    read_cycle(*core, "shadow_hit_latency", c.shadow_hit_latency);
+  }
+
+  if (const Json* caches = doc.find("caches")) {
+    read_cache(*caches, "l1i", c.hierarchy.l1i);
+    read_cache(*caches, "l1d", c.hierarchy.l1d);
+    read_cache(*caches, "l2", c.hierarchy.l2);
+    read_cache(*caches, "l3", c.hierarchy.l3);
+    read_cycle(*caches, "memory_latency", c.hierarchy.memory_latency);
+  }
+
+  if (const Json* tlbs = doc.find("tlbs")) {
+    read_tlb(*tlbs, "itlb", c.itlb);
+    read_tlb(*tlbs, "dtlb", c.dtlb);
+  }
+
+  if (const Json* shadows = doc.find("shadows")) {
+    read_shadow(*shadows, "dcache", c.shadow_dcache);
+    read_shadow(*shadows, "icache", c.shadow_icache);
+    read_shadow(*shadows, "dtlb", c.shadow_dtlb);
+    read_shadow(*shadows, "itlb", c.shadow_itlb);
+  }
+
+  if (const Json* pred = doc.find("predictor")) {
+    std::string direction;
+    read_string(*pred, "direction", direction);
+    if (!direction.empty()) {
+      c.predictor.direction.kind = parse_direction_kind(direction);
+    }
+    read_int(*pred, "table_bits", c.predictor.direction.table_bits);
+    read_int(*pred, "history_bits", c.predictor.direction.history_bits);
+    read_int(*pred, "perceptron_weights",
+             c.predictor.direction.perceptron_weights);
+    read_int(*pred, "btb_entries", c.predictor.btb.entries);
+    read_int(*pred, "btb_ways", c.predictor.btb.ways);
+    read_int(*pred, "rsb_depth", c.predictor.rsb_depth);
+  }
+
+  if (const Json* map = doc.find("memory_map")) {
+    for (const Json& entry : map->array) {
+      MemRegion region;
+      read_u64(entry, "base", region.base);
+      read_u64(entry, "bytes", region.bytes);
+      bool kernel = false;
+      read_bool(entry, "kernel", kernel);
+      region.perm =
+          kernel ? memory::PagePerm::kKernel : memory::PagePerm::kUser;
+      spec.regions.push_back(region);
+    }
+  }
+
+  if (const Json* pokes = doc.find("pokes")) {
+    for (const Json& entry : pokes->array) {
+      Poke poke;
+      read_u64(entry, "addr", poke.addr);
+      read_u64(entry, "value", poke.value);
+      spec.pokes.push_back(poke);
+    }
+  }
+
+  return spec;
+}
+
+MachineSpec MachineSpec::from_json_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("cannot read machine config file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return from_json(buffer.str());
+}
+
+void MachineSpec::set(const std::string& key_equals_value) {
+  const std::size_t eq = key_equals_value.find('=');
+  if (eq == std::string::npos) {
+    throw std::invalid_argument("override \"" + key_equals_value +
+                                "\" is not of the form key=value");
+  }
+  set(key_equals_value.substr(0, eq), key_equals_value.substr(eq + 1));
+}
+
+void MachineSpec::set(const std::string& key, const std::string& value) {
+  cpu::CoreConfig& c = core;
+  const auto u64 = [&] { return parse_u64(value, key); };
+  const auto to_int = [&] { return static_cast<int>(parse_u64(value, key)); };
+  const auto to_bool = [&] {
+    if (value == "true" || value == "1") return true;
+    if (value == "false" || value == "0") return false;
+    throw std::invalid_argument("expected true/false for \"" + key + "\"");
+  };
+
+  if (key == "preset") {
+    // Re-seed the whole micro-architecture from the named preset; the
+    // policy choice and address-space setup survive. Apply before other
+    // overrides so they edit the new preset.
+    const std::string keep_policy = c.policy;
+    const MachineSpec fresh = machine_preset(value);
+    preset = fresh.preset;
+    core = fresh.core;
+    core.policy = keep_policy;
+    return;
+  }
+  if (key == "policy") {
+    policy::named_policy(value);  // throws with the registered list
+    c.policy = value;
+    return;
+  }
+  if (key == "allow_undersized_shadows") {
+    allow_undersized_shadows = to_bool();
+    return;
+  }
+  if (key == "map_text") {
+    map_text = to_bool();
+    return;
+  }
+
+  int* const int_fields[]{&c.fetch_width,
+                          &c.issue_width,
+                          &c.commit_width,
+                          &c.iq_entries,
+                          &c.rob_entries,
+                          &c.ldq_entries,
+                          &c.stq_entries,
+                          &c.fetch_to_dispatch_delay,
+                          &c.commit_delay};
+  const char* const int_names[]{
+      "fetch_width", "issue_width",  "commit_width",
+      "iq_entries",  "rob_entries",  "ldq_entries",
+      "stq_entries", "fetch_to_dispatch_delay", "commit_delay"};
+  for (std::size_t i = 0; i < std::size(int_fields); ++i) {
+    if (key == int_names[i]) {
+      *int_fields[i] = to_int();
+      return;
+    }
+  }
+
+  Cycle* const cycle_fields[]{&c.alu_latency, &c.mul_latency, &c.div_latency,
+                              &c.shadow_hit_latency,
+                              &c.hierarchy.memory_latency};
+  const char* const cycle_names[]{"alu_latency", "mul_latency", "div_latency",
+                                  "shadow_hit_latency", "memory_latency"};
+  for (std::size_t i = 0; i < std::size(cycle_fields); ++i) {
+    if (key == cycle_names[i]) {
+      *cycle_fields[i] = u64();
+      return;
+    }
+  }
+
+  const struct {
+    const char* prefix;
+    memory::CacheConfig* cache;
+  } caches[] = {{"l1i.", &c.hierarchy.l1i},
+                {"l1d.", &c.hierarchy.l1d},
+                {"l2.", &c.hierarchy.l2},
+                {"l3.", &c.hierarchy.l3}};
+  for (const auto& entry : caches) {
+    if (key.compare(0, std::strlen(entry.prefix), entry.prefix) != 0) {
+      continue;
+    }
+    const std::string field = key.substr(std::strlen(entry.prefix));
+    if (field == "size_bytes") {
+      entry.cache->size_bytes = u64();
+    } else if (field == "ways") {
+      entry.cache->ways = to_int();
+    } else if (field == "line_bytes") {
+      entry.cache->line_bytes = to_int();
+    } else if (field == "hit_latency") {
+      entry.cache->hit_latency = u64();
+    } else {
+      throw std::invalid_argument("unknown cache field in \"" + key + "\"");
+    }
+    return;
+  }
+
+  const struct {
+    const char* prefix;
+    memory::TlbConfig* tlb;
+  } tlbs[] = {{"itlb.", &c.itlb}, {"dtlb.", &c.dtlb}};
+  for (const auto& entry : tlbs) {
+    if (key.compare(0, std::strlen(entry.prefix), entry.prefix) != 0) {
+      continue;
+    }
+    const std::string field = key.substr(std::strlen(entry.prefix));
+    if (field == "entries") {
+      entry.tlb->entries = to_int();
+    } else if (field == "ways") {
+      entry.tlb->ways = to_int();
+    } else {
+      throw std::invalid_argument("unknown TLB field in \"" + key + "\"");
+    }
+    return;
+  }
+
+  const struct {
+    const char* prefix;
+    shadow::ShadowConfig* config;
+  } shadows[] = {{"shadow_dcache.", &c.shadow_dcache},
+                 {"shadow_icache.", &c.shadow_icache},
+                 {"shadow_dtlb.", &c.shadow_dtlb},
+                 {"shadow_itlb.", &c.shadow_itlb}};
+  for (const auto& entry : shadows) {
+    if (key.compare(0, std::strlen(entry.prefix), entry.prefix) != 0) {
+      continue;
+    }
+    const std::string field = key.substr(std::strlen(entry.prefix));
+    if (field == "entries") {
+      entry.config->entries = to_int();
+    } else if (field == "full_policy") {
+      entry.config->full_policy = parse_full_policy(value);
+    } else {
+      throw std::invalid_argument("unknown shadow field in \"" + key + "\"");
+    }
+    return;
+  }
+
+  if (key == "predictor.direction") {
+    c.predictor.direction.kind = parse_direction_kind(value);
+    return;
+  }
+  if (key == "predictor.table_bits") {
+    c.predictor.direction.table_bits = to_int();
+    return;
+  }
+  if (key == "predictor.history_bits") {
+    c.predictor.direction.history_bits = to_int();
+    return;
+  }
+  if (key == "predictor.perceptron_weights") {
+    c.predictor.direction.perceptron_weights = to_int();
+    return;
+  }
+  if (key == "predictor.btb_entries") {
+    c.predictor.btb.entries = to_int();
+    return;
+  }
+  if (key == "predictor.btb_ways") {
+    c.predictor.btb.ways = to_int();
+    return;
+  }
+  if (key == "predictor.rsb_depth") {
+    c.predictor.rsb_depth = to_int();
+    return;
+  }
+
+  throw std::invalid_argument(
+      "unknown machine-spec key \"" + key +
+      "\" (see MachineSpec::set in src/sim/machine.h for the grammar)");
+}
+
+// ---- preset registry -------------------------------------------------------
+
+MachineSpec machine_preset(const std::string& name) {
+  return preset_registry().at(name)();
+}
+
+std::vector<std::string> machine_preset_names() {
+  return preset_registry().names();
+}
+
+bool is_registered_machine_preset(const std::string& name) {
+  return preset_registry().contains(name);
+}
+
+void register_machine_preset(const std::string& name,
+                             std::function<MachineSpec()> factory) {
+  preset_registry().add(name, std::move(factory));
+}
+
+// ---- builder ----------------------------------------------------------------
+
+MachineBuilder::MachineBuilder() : spec_(machine_preset("skylake")) {}
+
+MachineBuilder::MachineBuilder(MachineSpec spec) : spec_(std::move(spec)) {}
+
+MachineBuilder MachineBuilder::from_preset(const std::string& name) {
+  return MachineBuilder(machine_preset(name));
+}
+
+MachineBuilder& MachineBuilder::policy(const std::string& name) {
+  policy::named_policy(name);  // throws with the registered list
+  spec_.core.policy = name;
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::shadow_entries(int dside, int iside) {
+  spec_.core.shadow_dcache.entries = dside;
+  spec_.core.shadow_dtlb.entries = dside;
+  spec_.core.shadow_icache.entries = iside;
+  spec_.core.shadow_itlb.entries = iside;
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::shadow_full_policy(
+    shadow::FullPolicy full_policy) {
+  spec_.core.shadow_dcache.full_policy = full_policy;
+  spec_.core.shadow_icache.full_policy = full_policy;
+  spec_.core.shadow_dtlb.full_policy = full_policy;
+  spec_.core.shadow_itlb.full_policy = full_policy;
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::allow_undersized_shadows(bool allow) {
+  spec_.allow_undersized_shadows = allow;
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::map_region(Addr base, std::uint64_t bytes,
+                                           memory::PagePerm perm) {
+  spec_.regions.push_back({base, bytes, perm});
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::poke(Addr addr, std::uint64_t value) {
+  spec_.pokes.push_back({addr, value});
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::set(const std::string& key_equals_value) {
+  spec_.set(key_equals_value);
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::configure(
+    const std::function<void(cpu::CoreConfig&)>& fn) {
+  fn(spec_.core);
+  return *this;
+}
+
+std::unique_ptr<Simulator> MachineBuilder::build(isa::Program program) const {
+  spec_.validate();
+  auto sim = std::make_unique<Simulator>(spec_.core, std::move(program));
+  if (spec_.map_text) sim->map_text();
+  for (const MemRegion& region : spec_.regions) {
+    sim->map_region(region.base, region.bytes, region.perm);
+  }
+  for (const Poke& poke : spec_.pokes) sim->poke(poke.addr, poke.value);
+  return sim;
+}
+
+}  // namespace safespec::sim

@@ -2,36 +2,13 @@
 
 #include <sstream>
 
+#include "sim/machine.h"
+
 namespace safespec::sim {
 
 cpu::CoreConfig skylake_config(shadow::CommitPolicy policy) {
-  cpu::CoreConfig c;
-  // Table I.
-  c.issue_width = 6;
-  c.fetch_width = 6;
-  c.commit_width = 6;
-  c.iq_entries = 96;
-  c.rob_entries = 224;
-  c.ldq_entries = 72;
-  c.stq_entries = 56;
-  c.itlb = {.name = "iTLB", .entries = 64, .ways = 4};
-  c.dtlb = {.name = "dTLB", .entries = 64, .ways = 4};
-  // Table II (line size 64 B everywhere).
-  c.hierarchy.l1i = {.name = "L1I", .size_bytes = 32 * 1024, .ways = 8,
-                     .line_bytes = 64, .hit_latency = 4};
-  c.hierarchy.l1d = {.name = "L1D", .size_bytes = 32 * 1024, .ways = 8,
-                     .line_bytes = 64, .hit_latency = 4};
-  c.hierarchy.l2 = {.name = "L2", .size_bytes = 256 * 1024, .ways = 4,
-                    .line_bytes = 64, .hit_latency = 12};
-  c.hierarchy.l3 = {.name = "L3", .size_bytes = 2 * 1024 * 1024, .ways = 16,
-                    .line_bytes = 64, .hit_latency = 44};
-  c.hierarchy.memory_latency = 191;
-  // SafeSpec.
-  c.policy = policy;
-  c.shadow_dcache = {.name = "shadow-dcache", .entries = c.ldq_entries};
-  c.shadow_icache = {.name = "shadow-icache", .entries = c.rob_entries};
-  c.shadow_dtlb = {.name = "shadow-dtlb", .entries = c.ldq_entries};
-  c.shadow_itlb = {.name = "shadow-itlb", .entries = c.rob_entries};
+  cpu::CoreConfig c = machine_preset("skylake").core;
+  c.policy = shadow::to_string(policy);
   return c;
 }
 
@@ -68,7 +45,7 @@ std::string describe_config(const cpu::CoreConfig& c) {
       << "  Memory              " << c.hierarchy.memory_latency
       << " cycles\n"
       << "SafeSpec\n"
-      << "  Policy              " << shadow::to_string(c.policy) << "\n"
+      << "  Policy              " << c.policy << "\n"
       << "  shadow d-cache      " << c.shadow_dcache.entries << " entries ("
       << shadow::to_string(c.shadow_dcache.full_policy) << ")\n"
       << "  shadow i-cache      " << c.shadow_icache.entries << " entries ("

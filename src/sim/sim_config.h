@@ -4,6 +4,11 @@
 // SkyLake-like out-of-order core (96-entry IQ, 224-entry ROB, 72/56-entry
 // LDQ/STQ, 64-entry TLBs) over a 32K/32K/256K/2M inclusive hierarchy with
 // 4/12/44-cycle hits and 191-cycle memory.
+//
+// This header is the legacy entry point: the configuration itself now
+// lives in the "skylake" machine preset (sim/machine.h), and
+// skylake_config() is a thin wrapper kept for the attack PoCs and older
+// tests that still construct cores by hand.
 #pragma once
 
 #include <string>
@@ -13,7 +18,8 @@
 
 namespace safespec::sim {
 
-/// Table I + Table II configuration with the given protection policy.
+/// Table I + Table II configuration with the given protection policy —
+/// machine_preset("skylake").core with the policy name filled in.
 /// Shadow structures default to the worst-case "Secure" sizing (§V):
 /// d-side bounded by the LDQ (72), i-side bounded by the ROB (224).
 cpu::CoreConfig skylake_config(

@@ -1,16 +1,25 @@
 #include "workloads/runner.h"
 
+#include "sim/machine.h"
+
 namespace safespec::workloads {
 
 std::unique_ptr<sim::Simulator> make_workload_sim(
     const WorkloadProfile& profile, const cpu::CoreConfig& config,
     std::uint64_t target_instrs) {
   WorkloadImage image = generate(profile, target_instrs);
-  auto sim = std::make_unique<sim::Simulator>(config, std::move(image.program));
-  sim->map_text();
-  sim->map_region(image.data_base, image.data_bytes);
-  for (const auto& [addr, value] : image.init_words) sim->poke(addr, value);
-  return sim;
+  sim::MachineSpec spec;
+  spec.core = config;
+  // Sweep axes legitimately undersize the shadows (sizing studies, TSA
+  // grids); the strict §V bound is enforced on user-authored specs by
+  // resolve_machine / from_json, not on this internal path.
+  spec.allow_undersized_shadows = true;
+  sim::MachineBuilder builder{std::move(spec)};
+  builder.map_region(image.data_base, image.data_bytes);
+  for (const auto& [addr, value] : image.init_words) {
+    builder.poke(addr, value);
+  }
+  return builder.build(std::move(image.program));
 }
 
 sim::SimResult run_workload(const WorkloadProfile& profile,

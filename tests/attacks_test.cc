@@ -11,53 +11,52 @@
 namespace safespec::attacks {
 namespace {
 
-using shadow::CommitPolicy;
 using shadow::FullPolicy;
 
 // ---- baseline: everything leaks -------------------------------------------
 
 TEST(Baseline, SpectreV1Leaks) {
-  const auto out = run_spectre_v1(CommitPolicy::kBaseline, 0x5A);
+  const auto out = run_spectre_v1("baseline", 0x5A);
   EXPECT_TRUE(out.leaked) << out.detail;
   EXPECT_EQ(out.recovered, 0x5A);
 }
 
 TEST(Baseline, SpectreV2Leaks) {
-  const auto out = run_spectre_v2(CommitPolicy::kBaseline, 0xC3);
+  const auto out = run_spectre_v2("baseline", 0xC3);
   EXPECT_TRUE(out.leaked) << out.detail;
   EXPECT_EQ(out.recovered, 0xC3);
 }
 
 TEST(Baseline, MeltdownLeaks) {
-  const auto out = run_meltdown(CommitPolicy::kBaseline, 0x7E);
+  const auto out = run_meltdown("baseline", 0x7E);
   EXPECT_TRUE(out.leaked) << out.detail;
   EXPECT_EQ(out.recovered, 0x7E);
 }
 
 TEST(Baseline, ICacheVariantLeaks) {
-  const auto out = run_icache_attack(CommitPolicy::kBaseline, 0x42);
+  const auto out = run_icache_attack("baseline", 0x42);
   EXPECT_TRUE(out.leaked) << out.detail;
 }
 
 TEST(Baseline, ITlbVariantLeaks) {
-  const auto out = run_itlb_attack(CommitPolicy::kBaseline, 0x42);
+  const auto out = run_itlb_attack("baseline", 0x42);
   EXPECT_TRUE(out.leaked) << out.detail;
 }
 
 TEST(Baseline, DTlbVariantLeaks) {
-  const auto out = run_dtlb_attack(CommitPolicy::kBaseline, 0x42);
+  const auto out = run_dtlb_attack("baseline", 0x42);
   EXPECT_TRUE(out.leaked) << out.detail;
 }
 
 // ---- WFB: Spectre closed, Meltdown still open (Table III) -----------------
 
 TEST(WFB, SpectreV1Stopped) {
-  const auto out = run_spectre_v1(CommitPolicy::kWFB, 0x5A);
+  const auto out = run_spectre_v1("WFB", 0x5A);
   EXPECT_FALSE(out.leaked) << out.detail;
 }
 
 TEST(WFB, SpectreV2Stopped) {
-  const auto out = run_spectre_v2(CommitPolicy::kWFB, 0xC3);
+  const auto out = run_spectre_v2("WFB", 0xC3);
   EXPECT_FALSE(out.leaked) << out.detail;
 }
 
@@ -65,49 +64,49 @@ TEST(WFB, MeltdownStillLeaks) {
   // WFB promotes shadow state once all older *branches* resolve; Meltdown
   // has no branch, so the transmitting line is promoted before the fault
   // commits — exactly the Table III "WFB does not stop Meltdown" row.
-  const auto out = run_meltdown(CommitPolicy::kWFB, 0x7E);
+  const auto out = run_meltdown("WFB", 0x7E);
   EXPECT_TRUE(out.leaked) << out.detail;
 }
 
 TEST(WFB, ICacheVariantStopped) {
-  EXPECT_FALSE(run_icache_attack(CommitPolicy::kWFB, 0x42).leaked);
+  EXPECT_FALSE(run_icache_attack("WFB", 0x42).leaked);
 }
 
 TEST(WFB, ITlbVariantStopped) {
-  EXPECT_FALSE(run_itlb_attack(CommitPolicy::kWFB, 0x42).leaked);
+  EXPECT_FALSE(run_itlb_attack("WFB", 0x42).leaked);
 }
 
 TEST(WFB, DTlbVariantStopped) {
-  EXPECT_FALSE(run_dtlb_attack(CommitPolicy::kWFB, 0x42).leaked);
+  EXPECT_FALSE(run_dtlb_attack("WFB", 0x42).leaked);
 }
 
 // ---- WFC: everything closed (Tables III & IV) ------------------------------
 
 TEST(WFC, SpectreV1Stopped) {
-  const auto out = run_spectre_v1(CommitPolicy::kWFC, 0x5A);
+  const auto out = run_spectre_v1("WFC", 0x5A);
   EXPECT_FALSE(out.leaked) << out.detail;
 }
 
 TEST(WFC, SpectreV2Stopped) {
-  const auto out = run_spectre_v2(CommitPolicy::kWFC, 0xC3);
+  const auto out = run_spectre_v2("WFC", 0xC3);
   EXPECT_FALSE(out.leaked) << out.detail;
 }
 
 TEST(WFC, MeltdownStopped) {
-  const auto out = run_meltdown(CommitPolicy::kWFC, 0x7E);
+  const auto out = run_meltdown("WFC", 0x7E);
   EXPECT_FALSE(out.leaked) << out.detail;
 }
 
 TEST(WFC, ICacheVariantStopped) {
-  EXPECT_FALSE(run_icache_attack(CommitPolicy::kWFC, 0x42).leaked);
+  EXPECT_FALSE(run_icache_attack("WFC", 0x42).leaked);
 }
 
 TEST(WFC, ITlbVariantStopped) {
-  EXPECT_FALSE(run_itlb_attack(CommitPolicy::kWFC, 0x42).leaked);
+  EXPECT_FALSE(run_itlb_attack("WFC", 0x42).leaked);
 }
 
 TEST(WFC, DTlbVariantStopped) {
-  EXPECT_FALSE(run_dtlb_attack(CommitPolicy::kWFC, 0x42).leaked);
+  EXPECT_FALSE(run_dtlb_attack("WFC", 0x42).leaked);
 }
 
 // ---- leak robustness across secret values ---------------------------------
@@ -115,19 +114,19 @@ TEST(WFC, DTlbVariantStopped) {
 class SecretSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(SecretSweep, SpectreV1RecoversAnyByteOnBaseline) {
-  const auto out = run_spectre_v1(CommitPolicy::kBaseline, GetParam());
+  const auto out = run_spectre_v1("baseline", GetParam());
   EXPECT_TRUE(out.leaked) << out.detail;
   EXPECT_EQ(out.recovered, GetParam());
 }
 
 TEST_P(SecretSweep, MeltdownRecoversAnyByteOnBaseline) {
-  const auto out = run_meltdown(CommitPolicy::kBaseline, GetParam());
+  const auto out = run_meltdown("baseline", GetParam());
   EXPECT_TRUE(out.leaked) << out.detail;
   EXPECT_EQ(out.recovered, GetParam());
 }
 
 TEST_P(SecretSweep, WfcStopsSpectreV1ForAnyByte) {
-  EXPECT_FALSE(run_spectre_v1(CommitPolicy::kWFC, GetParam()).leaked);
+  EXPECT_FALSE(run_spectre_v1("WFC", GetParam()).leaked);
 }
 
 INSTANTIATE_TEST_SUITE_P(Bytes, SecretSweep,

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,7 @@ TEST(ExperimentSpec, VariantMutationApplies) {
               [](cpu::CoreConfig& c) { c.shadow_dcache.entries = 8; });
   const auto cells = spec.expand();
   ASSERT_EQ(cells.size(), 1u);
-  EXPECT_EQ(cells[0].config.policy, shadow::CommitPolicy::kWFC);
+  EXPECT_EQ(cells[0].config.policy, "WFC");
   EXPECT_EQ(cells[0].config.shadow_dcache.entries, 8);
 }
 
@@ -163,6 +164,101 @@ TEST(ResultTable, CsvRoundTripsRawValues) {
   EXPECT_NE(text.find("table,benchmark,a,b"), std::string::npos);
   EXPECT_NE(text.find("\"T, with comma\",row1,1.5,2"), std::string::npos);
   EXPECT_NE(text.find("summary,,3.25"), std::string::npos);
+}
+
+TEST(ExperimentSpec, NamedPolicyAxisMatchesEnumAxis) {
+  // The string axis must build exactly the machines the legacy enum axis
+  // built (variant names included) — that is what keeps the bench
+  // outputs byte-identical across the API migration.
+  ExperimentSpec by_name, by_enum;
+  by_name.profile_names({"x264"}).policy("baseline").policy("WFC");
+  by_enum.profile_names({"x264"})
+      .policy(shadow::CommitPolicy::kBaseline)
+      .policy(shadow::CommitPolicy::kWFC);
+  ASSERT_EQ(by_name.variant_axis().size(), by_enum.variant_axis().size());
+  for (std::size_t v = 0; v < by_name.variant_axis().size(); ++v) {
+    EXPECT_EQ(by_name.variant_axis()[v].name, by_enum.variant_axis()[v].name);
+    EXPECT_EQ(by_name.variant_axis()[v].config.policy,
+              by_enum.variant_axis()[v].config.policy);
+  }
+}
+
+TEST(ExperimentSpec, BaseMachineReshapesEveryVariant) {
+  ExperimentSpec spec;
+  spec.base_machine(sim::machine_preset("embedded"));
+  spec.profile_names({"x264"}).policy("WFB-stall");
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].config.fetch_width, 2);
+  EXPECT_EQ(cells[0].config.policy, "WFB-stall");
+}
+
+TEST(ExperimentSpec, UnknownPolicyNameThrows) {
+  ExperimentSpec spec;
+  EXPECT_THROW(spec.policy("not-a-policy"), std::out_of_range);
+}
+
+TEST(SweepResult, StopNoteFlagsNonConvergedCells) {
+  sim::SimResult ok, budget, wedged;
+  ok.stop = cpu::StopReason::kMaxInstrs;
+  budget.stop = cpu::StopReason::kMaxCycles;
+  wedged.stop = cpu::StopReason::kFaultNoHandler;
+  const SweepResult sweep(2, 2, {ok, budget, ok, wedged},
+                          {"baseline", "WFC"});
+  EXPECT_EQ(sweep.stop_note(0), "WFC:max-cycles");
+  EXPECT_EQ(sweep.stop_note(1), "WFC:fault");
+}
+
+TEST(ResultTable, StopNotesSurfaceInEverySink) {
+  ResultTable table("T", {"a"});
+  table.add_row("good", {1.0});
+  table.annotate_last_row("");  // no-op
+  table.add_row("bad", {2.0});
+  table.annotate_last_row("WFC:max-cycles");
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  table.append_csv(tmp);
+  std::rewind(tmp);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+  EXPECT_NE(text.find("table,benchmark,a,stop"), std::string::npos);
+  EXPECT_NE(text.find("T,good,1,\n"), std::string::npos);
+  EXPECT_NE(text.find("T,bad,2,WFC:max-cycles"), std::string::npos);
+
+  std::vector<std::string> items;
+  table.append_json(items);
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].find("stop"), std::string::npos);
+  EXPECT_NE(items[1].find("\"stop\":\"WFC:max-cycles\""), std::string::npos);
+}
+
+TEST(ResultTable, NoNotesMeansUnchangedCsvShape) {
+  ResultTable table("T", {"a"});
+  table.add_row("good", {1.0});
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  table.append_csv(tmp);
+  std::rewind(tmp);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+  EXPECT_NE(text.find("table,benchmark,a\n"), std::string::npos);
+  EXPECT_EQ(text.find("stop"), std::string::npos);
+}
+
+TEST(BenchOptions, ConfigAndSetFlagsParse) {
+  const char* argv[] = {"bench", "--set=policy=WFB", "--config=m.json",
+                        "--set", "rob_entries=64", "--threads=2"};
+  const auto opts =
+      parse_bench_args(static_cast<int>(std::size(argv)),
+                       const_cast<char**>(argv));
+  EXPECT_EQ(opts.config_path, "m.json");
+  ASSERT_EQ(opts.overrides.size(), 2u);
+  EXPECT_EQ(opts.overrides[0], "policy=WFB");
+  EXPECT_EQ(opts.overrides[1], "rob_entries=64");
+  EXPECT_EQ(opts.threads, 2);
 }
 
 TEST(SimResultHardening, RateHelpersClampInsteadOfUnderflowing) {

@@ -105,6 +105,16 @@ TEST(ShadowTable, LiveCountTracksEntriesNotRefs) {
   EXPECT_EQ(t.live_count(), 0);
 }
 
+TEST(ShadowTable, PayloadAliasesPayloadOf) {
+  // payload() is the historical accessor name; instantiating it caught a
+  // latent call to a nonexistent Entry::key_payload().
+  shadow::ShadowTlb t({.name = "t", .entries = 4});
+  const auto id = t.insert(0x7, {0x42, /*kernel_only=*/false});
+  ASSERT_NE(id, shadow::ShadowTlb::kNone);
+  EXPECT_EQ(t.payload(id).ppage, t.payload_of(id).ppage);
+  EXPECT_EQ(t.payload(id).ppage, 0x42u);
+}
+
 TEST(ShadowTable, TlbPayloadRoundTrips) {
   ShadowTlb t(config_of(4));
   const auto id = t.insert(0x42, {0x99, true});
