@@ -260,9 +260,10 @@ void Core::stage_commit() {
 }
 
 void Core::commit_one(DynInst& head) {
-  // Architectural register update.
+  // Architectural register update (commit_xor is 0 outside mutation
+  // testing, where it simulates a corrupted writeback datapath).
   if (head.inst.writes_register()) {
-    regs_[head.inst.dst] = head.result;
+    regs_[head.inst.dst] = head.result ^ config_.mutation.commit_xor;
     if (rename_[head.inst.dst] == head.seq) rename_[head.inst.dst] = 0;
   }
 
@@ -395,6 +396,17 @@ void Core::promote_shadow(DynInst& di) {
 }
 
 void Core::release_shadow(DynInst& di) {
+  if (config_.mutation.skip_squash_release) {
+    // Injected defect (mutation testing): drop the references without
+    // releasing them. The shadow entries stay live forever, so the
+    // empty-shadows-after-drain invariant must trip.
+    di.shadow_dline = DynInst::kNoShadow;
+    di.shadow_iline = DynInst::kNoShadow;
+    di.shadow_dtlb = DynInst::kNoShadow;
+    di.shadow_itlb = DynInst::kNoShadow;
+    di.walker_refs.clear();
+    return;
+  }
   // Squash handling is a policy decision point: every shipped policy
   // annuls in place (Fig 3); a policy answering false promotes squashed
   // state anyway — the insecure strawman for annulment-cost ablations.

@@ -44,6 +44,22 @@
 
 namespace safespec::cpu {
 
+/// Deliberate defect injection for mutation-testing the differential
+/// fuzzing harness (src/fuzz/): each flag corrupts exactly one thing a
+/// harness invariant must catch, so the harness's detection power is
+/// itself testable. All off in normal operation; never serialized into
+/// MachineSpec documents.
+struct MutationHooks {
+  /// Squashes leak their shadow references instead of annulling them —
+  /// caught by the empty-shadows-after-drain invariant.
+  bool skip_squash_release = false;
+  /// XORed into every committed register writeback — caught by the
+  /// oracle-equivalence invariant (and invisible to the cross-policy
+  /// comparison, since every policy corrupts identically: the reason the
+  /// harness needs an architectural oracle at all).
+  std::uint64_t commit_xor = 0;
+};
+
 /// Core pipeline configuration (Table I defaults).
 struct CoreConfig {
   int fetch_width = 6;
@@ -82,6 +98,9 @@ struct CoreConfig {
   shadow::ShadowConfig shadow_icache{.name = "shadow-icache", .entries = 224};
   shadow::ShadowConfig shadow_dtlb{.name = "shadow-dtlb", .entries = 72};
   shadow::ShadowConfig shadow_itlb{.name = "shadow-itlb", .entries = 224};
+
+  /// Mutation-testing defect injection (see MutationHooks).
+  MutationHooks mutation;
 };
 
 /// Why a run ended.

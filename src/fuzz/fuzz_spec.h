@@ -1,0 +1,85 @@
+// Knobs of the random program generator, as data.
+//
+// A FuzzSpec describes the *distribution* of programs the differential
+// fuzzer draws from: how much of each scenario class, how big the
+// programs, how big the address space. Like MachineSpec it serializes
+// to/from JSON so a fuzzing campaign is shippable as a config file
+// (fuzz_driver --spec=FILE) and a failing seed's repro names both the
+// seed and the spec that shaped it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace safespec::fuzz {
+
+/// Relative weight of each scenario class when the generator picks what
+/// the next block of a program is. Weights need not sum to anything; a
+/// zero disables the class.
+struct ScenarioWeights {
+  /// Dense data-dependent branching: short forward skips with mixed
+  /// predictability plus small counted inner loops.
+  double branch_heavy = 1.0;
+  /// Serially dependent loads walking a randomized pointer cycle — the
+  /// deep speculation windows that keep many instructions in flight.
+  double pointer_chase = 1.0;
+  /// Speculation straddling a kernel-mapped region: always-taken guards
+  /// whose architecturally-dead fall-through reads a kernel secret and
+  /// transmits it through a dependent user load (Spectre-shaped), plus —
+  /// with probability fault_frac — loads that architecturally *commit* a
+  /// permission fault and recover through the fault handler
+  /// (Meltdown-shaped).
+  double protected_window = 1.0;
+  /// Predictor self-confusion: indirect jumps through an LCG-driven
+  /// 4-way jump table (BTB mistraining) and call/ret nests (RSB).
+  double self_confusing = 1.0;
+  /// Random ALU/MUL/DIV dependency chains over a wide register set,
+  /// including divides whose divisor can be zero.
+  double mixed_compute = 1.0;
+  /// Back-to-back masked loads/stores with store-to-load forwarding
+  /// pairs, clflushes and the occasional fence.
+  double mem_storm = 1.0;
+
+  double total() const {
+    return branch_heavy + pointer_chase + protected_window +
+           self_confusing + mixed_compute + mem_storm;
+  }
+};
+
+/// Everything the generator needs besides the seed. Defaults produce
+/// small programs (~1-2k committed instructions) so one seed stays
+/// cheap enough to run across every policy x preset cell.
+struct FuzzSpec {
+  ScenarioWeights weights;
+
+  int min_blocks = 6;        ///< scenario blocks per program, inclusive
+  int max_blocks = 12;
+  int loop_iterations = 3;   ///< outer-loop repetitions of the block list
+
+  /// User data region size in bytes (rounded down to a power of two, at
+  /// least two pages). The pointer-chase cycle gets a quarter of it,
+  /// capped at 8 KiB, in an adjacent region.
+  std::uint64_t data_bytes = 64 * 1024;
+  /// Kernel-mapped secret region size in bytes (page multiple).
+  std::uint64_t kernel_bytes = 4096;
+
+  /// Of protected_window blocks: probability the block contains an
+  /// architecturally *reachable* kernel load (commit-time permission
+  /// fault, recovered through the fault handler) rather than a
+  /// speculative-only gadget. Ignored when install_fault_handler is off.
+  double fault_frac = 0.35;
+  /// Installs the program's fault handler (a jump back to the outer
+  /// loop's tail). Without it any committed fault ends the run.
+  bool install_fault_handler = true;
+
+  /// Throws std::invalid_argument on nonsense (negative weights or
+  /// sizes, empty block range, all-zero weights).
+  void validate() const;
+
+  /// Pretty-printed JSON (stable key order — round-trips).
+  std::string to_json() const;
+  static FuzzSpec from_json(const std::string& text);
+  static FuzzSpec from_json_file(const std::string& path);
+};
+
+}  // namespace safespec::fuzz

@@ -1,0 +1,141 @@
+#include "fuzz/oracle.h"
+
+#include "isa/instruction.h"
+
+namespace safespec::fuzz {
+
+using cpu::Fault;
+using cpu::StopReason;
+using isa::OpClass;
+
+OracleInterpreter::OracleInterpreter(const isa::Program* program,
+                                     memory::MainMemory* mem,
+                                     const memory::PageTable* page_table)
+    : program_(program), mem_(mem), page_table_(page_table) {}
+
+bool OracleInterpreter::translate(Addr vaddr, Addr& paddr,
+                                  cpu::Fault& fault) const {
+  const auto xlat = page_table_->translate(page_of(vaddr));
+  if (!xlat.present) {
+    fault = Fault::kUnmapped;
+    return false;
+  }
+  // The oracle always runs at user level, like the harness's cores.
+  if (xlat.kernel_only) {
+    fault = Fault::kPermission;
+    return false;
+  }
+  paddr = (xlat.ppage << kPageShift) + page_offset(vaddr);
+  return true;
+}
+
+bool OracleInterpreter::handle_fault() {
+  ++faults_;
+  const auto handler = program_->fault_handler();
+  if (!handler.has_value()) return false;
+  pc_ = *handler;
+  return true;
+}
+
+StopReason OracleInterpreter::run(std::uint64_t max_instrs) {
+  if (!started_) {
+    pc_ = program_->entry();
+    started_ = true;
+  }
+  const std::uint64_t budget_end = committed_ + max_instrs;
+
+  while (committed_ < budget_end) {
+    const isa::Instruction* inst = program_->at(pc_);
+    if (inst == nullptr) {
+      // Committed control flow reached a pc with no instruction — the
+      // core's front end stalls with an empty pipeline and its run loop
+      // reports an unhandled fault.
+      return StopReason::kFaultNoHandler;
+    }
+
+    Addr next_pc = pc_ + isa::kInstrBytes;
+    switch (inst->op) {
+      case OpClass::kNop:
+      case OpClass::kFence:
+        break;
+      case OpClass::kAlu:
+      case OpClass::kMul:
+      case OpClass::kDiv: {
+        const std::uint64_t b =
+            inst->use_imm ? static_cast<std::uint64_t>(inst->imm)
+                          : regs_[inst->src2];
+        set_reg(inst->dst, isa::eval_alu(inst->alu, regs_[inst->src1], b));
+        break;
+      }
+      case OpClass::kRdCycle:
+        // Documented divergence: no cycle exists here. See header.
+        set_reg(inst->dst, committed_);
+        break;
+      case OpClass::kLoad: {
+        const Addr vaddr =
+            regs_[inst->src1] + static_cast<std::uint64_t>(inst->imm);
+        Addr paddr = 0;
+        Fault fault = Fault::kNone;
+        if (!translate(vaddr, paddr, fault)) {
+          if (!handle_fault()) return StopReason::kFaultNoHandler;
+          continue;  // faulting instruction never commits
+        }
+        set_reg(inst->dst, mem_->read64(paddr));
+        break;
+      }
+      case OpClass::kStore: {
+        const Addr vaddr =
+            regs_[inst->src1] + static_cast<std::uint64_t>(inst->imm);
+        Addr paddr = 0;
+        Fault fault = Fault::kNone;
+        if (!translate(vaddr, paddr, fault)) {
+          if (!handle_fault()) return StopReason::kFaultNoHandler;
+          continue;
+        }
+        mem_->write64(paddr, regs_[inst->src2]);
+        break;
+      }
+      case OpClass::kFlush: {
+        // No architectural effect, but the address still translates and
+        // can fault — exactly as the core's commit path behaves.
+        const Addr vaddr =
+            regs_[inst->src1] + static_cast<std::uint64_t>(inst->imm);
+        Addr paddr = 0;
+        Fault fault = Fault::kNone;
+        if (!translate(vaddr, paddr, fault)) {
+          if (!handle_fault()) return StopReason::kFaultNoHandler;
+          continue;
+        }
+        break;
+      }
+      case OpClass::kBranch:
+        if (isa::eval_cond(inst->cond, regs_[inst->src1],
+                           regs_[inst->src2])) {
+          next_pc = inst->target;
+        }
+        break;
+      case OpClass::kJump:
+        next_pc = inst->target;
+        break;
+      case OpClass::kCall:
+        set_reg(inst->dst, pc_ + isa::kInstrBytes);  // link value
+        next_pc = inst->target;
+        break;
+      case OpClass::kBranchIndirect:
+        next_pc = regs_[inst->src1] + static_cast<Addr>(inst->imm);
+        break;
+      case OpClass::kRet:
+        next_pc = regs_[inst->src1];
+        break;
+      case OpClass::kHalt:
+        ++committed_;
+        return StopReason::kHalted;
+    }
+
+    ++committed_;
+    pc_ = next_pc;
+  }
+  return StopReason::kMaxInstrs;
+}
+
+}  // namespace safespec::fuzz

@@ -1,6 +1,7 @@
 #include "isa/program.h"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace safespec::isa {
@@ -26,6 +27,19 @@ std::vector<Addr> Program::pcs() const {
   for (const auto& [pc, inst] : text_) out.push_back(pc);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::string to_string(const Program& program) {
+  std::ostringstream oss;
+  for (const Addr pc : program.pcs()) {
+    oss << "0x" << std::hex << pc << std::dec;
+    if (pc == program.entry()) oss << " <entry>";
+    if (program.fault_handler() && *program.fault_handler() == pc) {
+      oss << " <fault-handler>";
+    }
+    oss << ": " << to_string(*program.at(pc)) << "\n";
+  }
+  return oss.str();
 }
 
 ProgramBuilder& ProgramBuilder::emit(const Instruction& inst) {

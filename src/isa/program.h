@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -46,6 +47,11 @@ class Program {
   Addr entry_ = 0;
   std::optional<Addr> fault_handler_;
 };
+
+/// Full disassembly listing, one "0xPC: <instruction>" line per occupied
+/// address in ascending order. The fuzz driver prints this for failing
+/// seeds so a repro comes with the program that triggered it.
+std::string to_string(const Program& program);
 
 /// Fluent builder that lays instructions out sequentially and resolves
 /// forward label references. All attack PoCs and workload generators

@@ -1,5 +1,7 @@
 #include "memory/main_memory.h"
 
+#include <algorithm>
+
 namespace safespec::memory {
 
 void MainMemory::map_page(Addr page, PagePerm perm) { perms_[page] = perm; }
@@ -24,6 +26,17 @@ std::uint64_t MainMemory::read64(Addr addr) const {
 
 void MainMemory::write64(Addr addr, std::uint64_t value) {
   words_[word_of(addr)] = value;
+}
+
+std::vector<std::pair<Addr, std::uint64_t>> MainMemory::nonzero_words()
+    const {
+  std::vector<std::pair<Addr, std::uint64_t>> out;
+  out.reserve(words_.size());
+  for (const auto& [word, value] : words_) {
+    if (value != 0) out.emplace_back(word << 3, value);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 }  // namespace safespec::memory

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/types.h"
 
@@ -53,6 +55,14 @@ class MainMemory {
 
   /// Writes the 64-bit word containing byte address `addr`.
   void write64(Addr addr, std::uint64_t value);
+
+  /// Canonical architectural snapshot: every word holding a nonzero
+  /// value, as (byte address, value) pairs sorted by address. Zero-valued
+  /// words are skipped because an explicitly written zero is
+  /// indistinguishable from untouched zero-fill memory — exactly the
+  /// equivalence the differential harness needs when comparing final
+  /// memory images across machines.
+  std::vector<std::pair<Addr, std::uint64_t>> nonzero_words() const;
 
  private:
   static Addr word_of(Addr addr) { return addr >> 3; }

@@ -163,6 +163,9 @@ class ShadowTable {
 
   int live_count() const { return live_count_; }
   int capacity() const { return config_.entries; }
+  /// No live entries: the state every shadow structure must reach after
+  /// the final commit/squash drain (a differential-harness invariant).
+  bool empty() const { return live_count_ == 0; }
 
   /// Cycle-granularity occupancy sample (Figs 6-9).
   void sample_occupancy() {

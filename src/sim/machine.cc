@@ -1,16 +1,13 @@
 #include "sim/machine.h"
 
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <iterator>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "common/json.h"
 #include "common/registry.h"
 #include "safespec/policy.h"
 #include "sim/sim_config.h"
@@ -19,230 +16,20 @@ namespace safespec::sim {
 
 namespace {
 
-// ---- minimal JSON ----------------------------------------------------------
-// A self-contained value type + recursive-descent parser covering the
-// subset MachineSpec documents use (objects, arrays, strings, numbers,
-// booleans, null). Numbers keep their raw token so 64-bit addresses
-// round-trip exactly; quoted "0x..." strings are accepted wherever an
-// integer is expected, so memory maps can be written in hex.
+// The JSON machinery (value type, parser, typed readers, writer) lives in
+// common/json.h, shared with the fuzzing subsystem's FuzzSpec documents.
+using Json = json::Value;
+using JsonWriter = json::Writer;
+using json::parse_u64;
+using json::read_bool;
+using json::read_int;
+using json::read_string;
+using json::read_u64;
 
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  std::string text;  ///< raw number token or string contents
-  std::vector<Json> array;
-  std::vector<std::pair<std::string, Json>> object;
-
-  const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : object) {
-      if (k == key) return &v;
-    }
-    return nullptr;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Json parse() {
-    Json value = parse_value();
-    skip_ws();
-    if (pos_ != text_.size()) fail("trailing characters after document");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& what) const {
-    throw std::invalid_argument("JSON error at offset " +
-                                std::to_string(pos_) + ": " + what);
-  }
-
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) fail("unexpected end of document");
-    return text_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* literal) {
-    const std::size_t len = std::strlen(literal);
-    if (text_.compare(pos_, len, literal) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  std::string parse_string() {
-    expect('"');
-    std::string out;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) fail("unterminated escape");
-        const char esc = text_[pos_++];
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          default: fail("unsupported escape sequence");
-        }
-      }
-      out += c;
-    }
-    if (pos_ >= text_.size()) fail("unterminated string");
-    ++pos_;  // closing quote
-    return out;
-  }
-
-  Json parse_value() {
-    const char c = peek();
-    Json value;
-    if (c == '{') {
-      value.kind = Json::Kind::kObject;
-      ++pos_;
-      if (peek() == '}') {
-        ++pos_;
-        return value;
-      }
-      for (;;) {
-        std::string key = parse_string();
-        expect(':');
-        value.object.emplace_back(std::move(key), parse_value());
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect('}');
-        return value;
-      }
-    }
-    if (c == '[') {
-      value.kind = Json::Kind::kArray;
-      ++pos_;
-      if (peek() == ']') {
-        ++pos_;
-        return value;
-      }
-      for (;;) {
-        value.array.push_back(parse_value());
-        if (peek() == ',') {
-          ++pos_;
-          continue;
-        }
-        expect(']');
-        return value;
-      }
-    }
-    if (c == '"') {
-      value.kind = Json::Kind::kString;
-      value.text = parse_string();
-      return value;
-    }
-    if (consume_literal("true")) {
-      value.kind = Json::Kind::kBool;
-      value.boolean = true;
-      return value;
-    }
-    if (consume_literal("false")) {
-      value.kind = Json::Kind::kBool;
-      value.boolean = false;
-      return value;
-    }
-    if (consume_literal("null")) return value;
-    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
-      value.kind = Json::Kind::kNumber;
-      const std::size_t start = pos_;
-      if (text_[pos_] == '-') ++pos_;
-      while (pos_ < text_.size() &&
-             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-              text_[pos_] == '.' || text_[pos_] == 'e' ||
-              text_[pos_] == 'E' || text_[pos_] == '+' ||
-              text_[pos_] == '-')) {
-        ++pos_;
-      }
-      value.text = text_.substr(start, pos_ - start);
-      return value;
-    }
-    fail("unexpected character");
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// ---- typed field readers ---------------------------------------------------
-
-std::uint64_t parse_u64(const std::string& token, const std::string& where) {
-  char* end = nullptr;
-  const int base = token.compare(0, 2, "0x") == 0 ? 16 : 10;
-  errno = 0;
-  const std::uint64_t value = std::strtoull(token.c_str(), &end, base);
-  // strtoull silently wraps "-5" to 2^64-5; every field here is a size,
-  // count or latency, so a sign is always a mistake worth diagnosing.
-  if (end == token.c_str() || *end != '\0' || token[0] == '-' ||
-      errno == ERANGE) {
-    throw std::invalid_argument("expected a non-negative integer for \"" +
-                                where + "\", got \"" + token + "\"");
-  }
-  return value;
-}
-
-std::uint64_t as_u64(const Json& v, const std::string& where) {
-  if (v.kind != Json::Kind::kNumber && v.kind != Json::Kind::kString) {
-    throw std::invalid_argument("expected a number for \"" + where + "\"");
-  }
-  return parse_u64(v.text, where);
-}
-
-void read_u64(const Json& obj, const char* key, std::uint64_t& out) {
-  if (const Json* v = obj.find(key)) out = as_u64(*v, key);
-}
-
-void read_int(const Json& obj, const char* key, int& out) {
-  if (const Json* v = obj.find(key)) {
-    out = static_cast<int>(as_u64(*v, key));
-  }
-}
-
+/// Cycle is an alias of std::uint64_t; named reader kept for the call
+/// sites that document the field as a latency.
 void read_cycle(const Json& obj, const char* key, Cycle& out) {
-  if (const Json* v = obj.find(key)) out = as_u64(*v, key);
-}
-
-void read_bool(const Json& obj, const char* key, bool& out) {
-  if (const Json* v = obj.find(key)) {
-    if (v->kind != Json::Kind::kBool) {
-      throw std::invalid_argument(std::string("expected true/false for \"") +
-                                  key + "\"");
-    }
-    out = v->boolean;
-  }
-}
-
-void read_string(const Json& obj, const char* key, std::string& out) {
-  if (const Json* v = obj.find(key)) {
-    if (v->kind != Json::Kind::kString) {
-      throw std::invalid_argument(std::string("expected a string for \"") +
-                                  key + "\"");
-    }
-    out = v->text;
-  }
+  read_u64(obj, key, out);
 }
 
 shadow::FullPolicy parse_full_policy(const std::string& text) {
@@ -295,78 +82,6 @@ void read_shadow(const Json& parent, const char* key,
     if (!full.empty()) config.full_policy = parse_full_policy(full);
   }
 }
-
-// ---- JSON writing ----------------------------------------------------------
-
-class JsonWriter {
- public:
-  std::string take() { return std::move(out_); }
-
-  void open(const char* key = nullptr) { open_scope(key, '{'); }
-  void open_array(const char* key) { open_scope(key, '['); }
-  void close() { close_scope('}'); }
-  void close_array() { close_scope(']'); }
-
-  void field(const char* key, std::uint64_t value) {
-    item(key, std::to_string(value));
-  }
-  void field(const char* key, int value) { item(key, std::to_string(value)); }
-  void field(const char* key, bool value) {
-    item(key, value ? "true" : "false");
-  }
-  void field(const char* key, const std::string& value) {
-    std::string escaped = "\"";
-    for (char c : value) {
-      if (c == '"' || c == '\\') escaped += '\\';
-      escaped += c;
-    }
-    escaped += '"';
-    item(key, escaped);
-  }
-  void field(const char* key, const char* value) {
-    field(key, std::string(value));
-  }
-
- private:
-  void open_scope(const char* key, char bracket) {
-    begin_item();
-    if (key != nullptr) out_ += std::string("\"") + key + "\": ";
-    out_ += bracket;
-    ++depth_;
-    fresh_scope_ = true;
-  }
-
-  void close_scope(char bracket) {
-    --depth_;
-    if (!fresh_scope_) {
-      out_ += '\n';
-      indent();
-    }
-    out_ += bracket;
-    fresh_scope_ = false;
-  }
-
-  void item(const char* key, const std::string& rendered) {
-    begin_item();
-    if (key != nullptr) out_ += std::string("\"") + key + "\": ";
-    out_ += rendered;
-  }
-
-  void begin_item() {
-    if (depth_ > 0) {
-      if (!fresh_scope_) out_ += ',';
-      out_ += '\n';
-      indent();
-    }
-    fresh_scope_ = false;
-  }
-
-  void indent() { out_.append(static_cast<std::size_t>(depth_) * 2, ' '); }
-
-  std::string out_;
-  int depth_ = 0;
-  bool fresh_scope_ = false;
-};
 
 // ---- preset registry -------------------------------------------------------
 
@@ -678,7 +393,7 @@ std::string MachineSpec::to_json() const {
 }
 
 MachineSpec MachineSpec::from_json(const std::string& text) {
-  const Json doc = JsonParser(text).parse();
+  const Json doc = json::parse(text);
   if (doc.kind != Json::Kind::kObject) {
     throw std::invalid_argument("machine spec must be a JSON object");
   }
@@ -771,13 +486,7 @@ MachineSpec MachineSpec::from_json(const std::string& text) {
 }
 
 MachineSpec MachineSpec::from_json_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::invalid_argument("cannot read machine config file: " + path);
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return from_json(buffer.str());
+  return from_json(json::read_file(path, "machine config"));
 }
 
 void MachineSpec::set(const std::string& key_equals_value) {

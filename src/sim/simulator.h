@@ -101,6 +101,7 @@ class Simulator {
   cpu::Core& core() { return *core_; }
   const cpu::Core& core() const { return *core_; }
   memory::MainMemory& memory() { return mem_; }
+  const memory::MainMemory& memory() const { return mem_; }
   memory::PageTable& page_table() { return page_table_; }
   const isa::Program& program() const { return program_; }
 

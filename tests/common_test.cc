@@ -27,6 +27,29 @@ TEST(RngTest, BelowRespectsBound) {
   for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
 }
 
+TEST(RngTest, BelowOneAlwaysZero) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngTest, BelowIsUnbiased) {
+  // Lemire rejection: every residue equally likely. The old modulo
+  // reduction skewed small values; with bound 3 over 30000 draws each
+  // bucket must sit near 10000 (±5 sigma ≈ ±410).
+  Rng rng(12);
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) counts[rng.below(3)]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 450);
+}
+
+TEST(RngTest, BelowHandlesHugeBounds) {
+  // Bounds just above 2^63 are where modulo bias was worst (a factor-2
+  // skew); rejection must still respect the bound and terminate.
+  Rng rng(13);
+  const std::uint64_t bound = (1ULL << 63) + 12345;
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(bound), bound);
+}
+
 TEST(RngTest, RangeInclusive) {
   Rng rng(8);
   bool saw_lo = false, saw_hi = false;

@@ -1,0 +1,34 @@
+# Golden-file regression check: rerun a bench binary with pinned flags
+# and byte-compare its CSV output against the checked-in reference.
+#
+# Invoked by ctest (see the golden tests in the top-level CMakeLists):
+#   cmake -DBINARY=... -DARGS="--instrs=2000" -DGOLDEN=... -DOUT=... \
+#         -P golden_diff.cmake
+#
+# Regenerating a golden after an intentional behaviour change:
+#   ./build/<bench> --instrs=2000 --csv=tests/golden/<bench>.csv
+if(NOT BINARY OR NOT GOLDEN OR NOT OUT)
+  message(FATAL_ERROR "golden_diff.cmake needs -DBINARY, -DGOLDEN, -DOUT")
+endif()
+
+separate_arguments(bench_args NATIVE_COMMAND "${ARGS}")
+execute_process(
+  COMMAND ${BINARY} ${bench_args} --csv=${OUT}
+  RESULT_VARIABLE run_rc
+  OUTPUT_QUIET
+  ERROR_VARIABLE run_err
+)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "${BINARY} ${ARGS} failed (${run_rc}): ${run_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${GOLDEN} ${OUT}
+  RESULT_VARIABLE diff_rc
+)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "CSV output differs from golden ${GOLDEN}.\n"
+          "If the change is intentional, regenerate with:\n"
+          "  ${BINARY} ${ARGS} --csv=${GOLDEN}")
+endif()

@@ -1,0 +1,198 @@
+// Differential fuzzing driver.
+//
+//   fuzz_driver --seed=1 --count=200 --threads=8
+//   fuzz_driver --seed=123 --count=1 --dump        # reproduce + disassemble
+//   fuzz_driver --spec=fuzz.json --count=500       # custom distribution
+//
+// Each seed generates one random program (see src/fuzz/generator.h),
+// computes its reference architectural state with the in-order oracle,
+// runs it through every protection policy x machine preset, and checks
+// the three differential invariants (oracle equivalence, policy
+// invariance, shadow drain). Failing seeds print one-line repro
+// commands; the exit code is the number of failing seeds (capped at 125).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "fuzz/differential.h"
+#include "fuzz/generator.h"
+#include "fuzz/fuzz_spec.h"
+#include "isa/program.h"
+#include "safespec/policy.h"
+#include "sim/machine.h"
+
+namespace {
+
+/// Strict numeric flag parsing: a typo'd "--count=abc" must fail loudly,
+/// not silently check zero seeds and exit green.
+std::uint64_t parse_u64_arg(const char* value, const char* flag) {
+  try {
+    return safespec::json::parse_u64(value, flag);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+int parse_int_arg(const char* value, const char* flag) {
+  const std::uint64_t v = parse_u64_arg(value, flag);
+  if (v > 10'000'000) {
+    std::fprintf(stderr, "%s=%s is out of range\n", flag, value);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
+void usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [--seed=N] [--count=N] [--spec=FILE] [--threads=N]\n"
+      "          [--policies=a,b,...] [--presets=a,b,...] [--dump]\n"
+      "  --seed=N          first seed (default 1)\n"
+      "  --count=N         seeds to check (default 100)\n"
+      "  --spec=FILE       FuzzSpec JSON shaping the program distribution\n"
+      "                    (default: built-in defaults; see --print-spec)\n"
+      "  --threads=N       worker threads (default: hardware concurrency)\n"
+      "  --policies=...    comma-separated policy subset (default: all)\n"
+      "  --presets=...     comma-separated preset subset (default: all)\n"
+      "  --dump            disassemble each seed's program (use with a\n"
+      "                    small --count when reproducing a failure)\n"
+      "  --print-spec      print the effective FuzzSpec JSON and exit\n",
+      prog);
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    if (end > start) out.push_back(text.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safespec;
+
+  std::uint64_t first_seed = 1;
+  int count = 100;
+  int threads = 0;
+  bool dump = false;
+  bool print_spec = false;
+  std::string spec_path;
+  fuzz::FuzzSpec spec;
+  fuzz::DifferentialConfig config;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    // "--flag value" is accepted as well as "--flag=value".
+    const auto next_value = [&](const char* name) -> bool {
+      if (std::strcmp(arg, name) == 0 && i + 1 < argc) {
+        value = argv[++i];
+        return true;
+      }
+      return false;
+    };
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (flag_value(arg, "--seed", &value) || next_value("--seed")) {
+      first_seed = parse_u64_arg(value, "--seed");
+    } else if (flag_value(arg, "--count", &value) || next_value("--count")) {
+      count = parse_int_arg(value, "--count");
+    } else if (flag_value(arg, "--threads", &value) || next_value("--threads")) {
+      threads = parse_int_arg(value, "--threads");
+    } else if (flag_value(arg, "--spec", &value) || next_value("--spec")) {
+      spec_path = value;
+    } else if (flag_value(arg, "--policies", &value) || next_value("--policies")) {
+      config.policies = split_csv(value);
+    } else if (flag_value(arg, "--presets", &value) || next_value("--presets")) {
+      config.presets = split_csv(value);
+    } else if (std::strcmp(arg, "--dump") == 0) {
+      dump = true;
+    } else if (std::strcmp(arg, "--print-spec") == 0) {
+      print_spec = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      usage(argv[0], stderr);
+      return 2;
+    }
+  }
+
+  try {
+    if (!spec_path.empty()) spec = fuzz::FuzzSpec::from_json_file(spec_path);
+    spec.validate();
+    // Resolve name subsets eagerly so a typo fails before the sweep.
+    for (const auto& name : config.policies) policy::named_policy(name);
+    for (const auto& name : config.presets) sim::machine_preset(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad configuration: %s\n", e.what());
+    return 2;
+  }
+  if (print_spec) {
+    std::fputs(spec.to_json().c_str(), stdout);
+    return 0;
+  }
+
+  fuzz::FuzzReport report;
+  try {
+    if (dump) {
+      for (int i = 0; i < count; ++i) {
+        const auto fp = fuzz::generate_program(first_seed + i, spec);
+        std::printf("=== seed %llu: %zu instructions, blocks:",
+                    static_cast<unsigned long long>(first_seed + i),
+                    fp.program.size());
+        for (const auto& c : fp.classes) std::printf(" %s", c.c_str());
+        std::printf(" ===\n%s", isa::to_string(fp.program).c_str());
+      }
+    }
+    report = fuzz::run_fuzz(first_seed, count, spec, config, threads);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fuzz sweep failed: %s\n", e.what());
+    return 2;
+  }
+
+  for (const auto& failure : report.failures) {
+    std::printf("FAIL seed=%llu (%zu cells)\n",
+                static_cast<unsigned long long>(failure.seed),
+                failure.cells);
+    for (const auto& violation : failure.violations) {
+      std::printf("  %s\n", violation.c_str());
+    }
+    std::printf("  repro: %s --seed=%llu --count=1 --dump%s%s\n", argv[0],
+                static_cast<unsigned long long>(failure.seed),
+                spec_path.empty() ? "" : " --spec=", spec_path.c_str());
+  }
+
+  std::printf(
+      "fuzz: %d seeds (%llu..%llu), %zu cells, %llu oracle instructions, "
+      "%zu failures\n",
+      report.count, static_cast<unsigned long long>(report.first_seed),
+      static_cast<unsigned long long>(
+          report.count > 0 ? report.first_seed + report.count - 1
+                           : report.first_seed),
+      report.total_cells,
+      static_cast<unsigned long long>(report.total_committed),
+      report.failures.size());
+
+  const std::size_t failures = report.failures.size();
+  return static_cast<int>(failures > 125 ? 125 : failures);
+}
