@@ -1,0 +1,105 @@
+// Open-addressing hash map keyed by Addr, for the simulator's per-access
+// lookups (memory words, page permissions, translations, program text).
+// std::unordered_map costs a modulo, a chain dereference, and an
+// allocation per node; these tables are looked up on every simulated
+// load/store/fetch, never erased from, and iterated only by cold paths —
+// exactly the profile linear probing over one flat slab is built for.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+
+namespace safespec {
+
+/// Insert/lookup-only flat hash map (no per-key erase; clear() drops
+/// everything). Values must be default-constructible. Iteration order is
+/// unspecified — callers that expose contents sort first.
+template <typename V>
+class AddrMap {
+ public:
+  AddrMap() : slots_(kMinCapacity), mask_(kMinCapacity - 1) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool contains(Addr key) const { return find(key) != nullptr; }
+
+  const V* find(Addr key) const {
+    const Slot& s = slots_[probe(key)];
+    return s.used ? &s.value : nullptr;
+  }
+  V* find(Addr key) {
+    Slot& s = slots_[probe(key)];
+    return s.used ? &s.value : nullptr;
+  }
+
+  /// Value for `key`, default-constructed and inserted when absent.
+  V& operator[](Addr key) {
+    std::size_t i = probe(key);
+    if (!slots_[i].used) {
+      if ((size_ + 1) * 2 > slots_.size()) {  // keep load factor <= 50%
+        grow();
+        i = probe(key);
+      }
+      slots_[i].used = true;
+      slots_[i].key = key;
+      ++size_;
+    }
+    return slots_[i].value;
+  }
+
+  void clear() {
+    slots_.assign(kMinCapacity, Slot{});
+    mask_ = kMinCapacity - 1;
+    size_ = 0;
+  }
+
+  /// Calls fn(key, const V&) for every element, in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.used) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Addr key = 0;
+    V value{};
+    bool used = false;
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  /// Index of `key`'s slot: the one holding it, or the first empty slot
+  /// of its probe chain. Always terminates at <= 50% load.
+  std::size_t probe(Addr key) const {
+    std::size_t i = mix64(key) & mask_;
+    while (slots_[i].used && slots_[i].key != key) i = (i + 1) & mask_;
+    return i;
+  }
+
+  void grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    for (Slot& s : old) {
+      if (!s.used) continue;
+      std::size_t i = probe(s.key);
+      assert(!slots_[i].used);
+      slots_[i] = std::move(s);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace safespec

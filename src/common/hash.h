@@ -1,0 +1,20 @@
+// Shared integer hashing for the simulator's flat hash structures.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace safespec {
+
+/// splitmix64 finalizer. The hot-path tables (shadow-structure index,
+/// AddrMap) key on line/page/word numbers with strong sequential
+/// structure; a masked identity hash would pile those into one probe
+/// chain, so every open-addressing user routes keys through this mixer.
+inline std::size_t mix64(Addr key) {
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(key ^ (key >> 31));
+}
+
+}  // namespace safespec

@@ -56,22 +56,41 @@ struct HitMiss {
 class Histogram {
  public:
   void record(std::uint64_t sample) {
-    if (sample >= buckets_.size()) buckets_.resize(sample + 1, 0);
-    ++buckets_[sample];
-    ++count_;
-    sum_ += sample;
-    if (sample > max_) max_ = sample;
+    flush_run();
+    bucket_add(sample, 1);
   }
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t max() const { return max_; }
+  /// Equivalent to record(), but run-length batched for per-cycle
+  /// sampling loops: consecutive equal samples cost one increment and are
+  /// folded into the buckets lazily (every reader flushes first), so the
+  /// resulting statistics are bit-identical to per-sample record() calls.
+  void record_run(std::uint64_t sample) {
+    if (run_len_ != 0 && sample == run_value_) {
+      ++run_len_;
+      return;
+    }
+    flush_run();
+    run_value_ = sample;
+    run_len_ = 1;
+  }
+
+  std::uint64_t count() const {
+    flush_run();
+    return count_;
+  }
+  std::uint64_t max() const {
+    flush_run();
+    return max_;
+  }
   double mean() const {
+    flush_run();
     return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
   }
 
   /// Smallest value v such that at least `fraction` of all samples are
   /// <= v. fraction in (0, 1]; returns 0 on an empty histogram.
   std::uint64_t percentile(double fraction) const {
+    flush_run();
     if (count_ == 0) return 0;
     const double target = fraction * static_cast<double>(count_);
     std::uint64_t cumulative = 0;
@@ -87,11 +106,14 @@ class Histogram {
     count_ = 0;
     sum_ = 0;
     max_ = 0;
+    run_len_ = 0;
   }
 
   /// Folds another histogram in bucket-wise; percentiles of the merged
   /// histogram equal those of the concatenated sample streams.
   void merge(const Histogram& other) {
+    flush_run();
+    other.flush_run();
     if (other.buckets_.size() > buckets_.size())
       buckets_.resize(other.buckets_.size(), 0);
     for (std::size_t v = 0; v < other.buckets_.size(); ++v)
@@ -102,10 +124,29 @@ class Histogram {
   }
 
  private:
-  std::vector<std::uint64_t> buckets_;
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t max_ = 0;
+  void bucket_add(std::uint64_t sample, std::uint64_t n) const {
+    if (sample >= buckets_.size()) buckets_.resize(sample + 1, 0);
+    buckets_[sample] += n;
+    count_ += n;
+    sum_ += sample * n;
+    if (sample > max_) max_ = sample;
+  }
+
+  void flush_run() const {
+    if (run_len_ == 0) return;
+    const std::uint64_t len = run_len_;
+    run_len_ = 0;
+    bucket_add(run_value_, len);
+  }
+
+  // All mutable: a pending run is an encoding detail that const readers
+  // (percentile queries on a const core) must be able to fold in.
+  mutable std::vector<std::uint64_t> buckets_;
+  mutable std::uint64_t count_ = 0;
+  mutable std::uint64_t sum_ = 0;
+  mutable std::uint64_t max_ = 0;
+  mutable std::uint64_t run_value_ = 0;
+  mutable std::uint64_t run_len_ = 0;
 };
 
 /// A registry of named counters for ad-hoc instrumentation; mainly used

@@ -1,6 +1,7 @@
 #include "cpu/core.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/log.h"
 
@@ -46,6 +47,9 @@ Core::Core(const CoreConfig& config, const isa::Program* program,
            memory::MainMemory* mem, memory::PageTable* page_table)
     : config_(tuned_config(config)),
       policy_(&policy::named_policy(config_.policy)),
+      protection_on_(policy_->shadows_speculation()),
+      promote_at_resolution_(policy_->promote_at_branch_resolution()),
+      annul_on_squash_(policy_->annul_on_squash()),
       program_(program),
       mem_(mem),
       page_table_(page_table),
@@ -56,8 +60,13 @@ Core::Core(const CoreConfig& config, const isa::Program* program,
       shadow_dcache_(config_.shadow_dcache),
       shadow_icache_(config_.shadow_icache),
       shadow_dtlb_(config_.shadow_dtlb),
-      shadow_itlb_(config_.shadow_itlb) {
+      shadow_itlb_(config_.shadow_itlb),
+      rob_(static_cast<std::size_t>(config_.rob_entries)),
+      fetch_queue_(
+          static_cast<std::size_t>(kFetchBufferCap + config_.fetch_width)) {
   fetch_pc_ = program_->entry();
+  unresolved_branches_.reserve(static_cast<std::size_t>(config_.rob_entries));
+  waiting_.reserve(static_cast<std::size_t>(config_.iq_entries));
 }
 
 StopReason Core::run(Cycle max_cycles, std::uint64_t max_instrs) {
@@ -119,19 +128,32 @@ void Core::step() {
 // --------------------------------------------------------------------------
 
 void Core::stage_complete() {
+  // Nothing in flight can have finished yet: skip the walk entirely.
+  // next_complete_cycle_ is a lower bound on the earliest completion
+  // (kept at issue time), so this gate never delays a writeback — it
+  // only removes the empty full-ROB scans that dominate memory-bound
+  // phases, where the window sits blocked behind a long-latency load.
+  if (cycle_ < next_complete_cycle_) return;
+  Cycle next = kNeverCycle;
   for (std::size_t i = 0; i < rob_.size(); ++i) {
     DynInst& di = rob_[i];
-    if (di.state != InstState::kIssued || di.done_cycle > cycle_) continue;
+    if (di.state != InstState::kIssued) continue;
+    if (di.done_cycle > cycle_) {
+      next = std::min(next, di.done_cycle);
+      continue;
+    }
     di.state = InstState::kDone;
     if (di.inst.writes_register()) wake_dependents(di);
     if (di.is_branch()) {
       resolve_branch(di);
       if (di.mispredicted) {
-        // Everything younger is gone; nothing further to complete.
+        // Everything younger is gone; nothing further to complete. The
+        // older in-flight entries were already folded into `next`.
         break;
       }
     }
   }
+  next_complete_cycle_ = next;
 }
 
 void Core::resolve_branch(DynInst& di) {
@@ -159,7 +181,7 @@ void Core::resolve_branch(DynInst& di) {
       return;
   }
   di.branch_resolved = true;
-  unresolved_branches_.erase(di.seq);
+  erase_seq(unresolved_branches_, di.seq);
 
   // Resolution-time training — the path an attacker mistrains through.
   predictor_.train(di.pc, di.inst, di.actual_taken, di.actual_next);
@@ -179,14 +201,25 @@ void Core::squash_younger_than(SeqNum seq, Addr redirect_pc) {
   while (!rob_.empty() && rob_.back().seq > seq) {
     DynInst& victim = rob_.back();
     release_shadow(victim);
-    if (victim.is_branch()) unresolved_branches_.erase(victim.seq);
+    if (victim.is_branch()) erase_seq(unresolved_branches_, victim.seq);
     if (victim.is_load()) --loads_in_flight_;
     if (victim.is_store()) --stores_in_flight_;
-    if (victim.state == InstState::kWaiting) --iq_occupancy_;
+    if (victim.state == InstState::kWaiting) erase_seq(waiting_, victim.seq);
     if (victim.inst.op == OpClass::kFence) fence_active_ = false;
     ++stats_.squashed_instrs;
     rob_.pop_back();
   }
+  // Rewind numbering over the squashed suffix so ROB seqs stay contiguous
+  // (the invariant find_by_seq's O(1) slot math relies on). Safe — every
+  // reference to a squashed seq was erased above, and relabeling future
+  // instructions preserves all age comparisons.
+  next_seq_ = seq + 1;
+  // The WFB sweep hint may have advanced past `seq` (the squashed suffix
+  // was promotable); instructions dispatched after the rewind reuse those
+  // seqs, so clamp the hint or the sweep would skip them — promoting
+  // their shadow state only at commit and silently shifting WFB timing
+  // and occupancy on every fault-handler recovery.
+  promoted_below_seq_ = std::min(promoted_below_seq_, next_seq_);
   // Wrong-path decoded instructions also hold shadow references.
   for (FetchedInst& fi : fetch_queue_) {
     if (fi.shadow_iline != DynInst::kNoShadow) {
@@ -230,15 +263,31 @@ void Core::rebuild_rename_map() {
 void Core::stage_commit() {
   // WFB promotion sweep: an instruction's shadow state becomes commitable
   // once no older branch remains unresolved (§III "wait-for-branch").
-  if (policy_->promote_at_branch_resolution()) {
-    for (DynInst& di : rob_) {
-      if (di.state == InstState::kWaiting || di.shadow_promoted) continue;
-      if (older_unresolved_branch_exists(di.seq)) continue;
-      // A branch's own resolution must also be in (it may itself be the
-      // mispredicted one, in which case it never reaches here unsquashed).
-      if (di.is_branch() && !di.branch_resolved) continue;
-      promote_shadow(di);
+  // Promotable entries are exactly those older than the oldest unresolved
+  // branch (the frontier — non-decreasing over a run), so the sweep only
+  // walks [promoted_below_seq_, frontier): everything before the hint was
+  // promoted by an earlier sweep, everything at or past the frontier has
+  // an older unresolved branch (or is the unresolved branch itself).
+  if (promote_at_resolution_ && !rob_.empty()) {
+    const SeqNum front_seq = rob_.front().seq;
+    const SeqNum frontier = unresolved_branches_.empty()
+                                ? rob_.back().seq + 1
+                                : unresolved_branches_.front();
+    SeqNum new_hint = frontier;
+    for (SeqNum seq = std::max(promoted_below_seq_, front_seq);
+         seq < frontier; ++seq) {
+      DynInst& di = rob_[static_cast<std::size_t>(seq - front_seq)];
+      // Not yet promotable: still waiting to issue, or a jump/call whose
+      // own resolution (hence squash-or-survive fate) is not in. The
+      // sweep must revisit it, so the hint stops short of it.
+      if (di.state == InstState::kWaiting ||
+          (di.is_branch() && !di.branch_resolved)) {
+        new_hint = std::min(new_hint, seq);
+        continue;
+      }
+      if (!di.shadow_promoted) promote_shadow(di);
     }
+    promoted_below_seq_ = new_hint;
   }
 
   for (int n = 0; n < config_.commit_width && !rob_.empty(); ++n) {
@@ -316,7 +365,7 @@ void Core::raise_fault(DynInst& head) {
   // dependent gadget load's line dies here too, with the rest of the
   // younger window).
   release_shadow(head);
-  if (head.is_branch()) unresolved_branches_.erase(head.seq);
+  if (head.is_branch()) erase_seq(unresolved_branches_, head.seq);
   if (head.is_load()) --loads_in_flight_;
   if (head.is_store()) --stores_in_flight_;
   const SeqNum seq = head.seq;
@@ -332,8 +381,12 @@ void Core::raise_fault(DynInst& head) {
 }
 
 bool Core::older_unresolved_branch_exists(SeqNum seq) const {
-  if (unresolved_branches_.empty()) return false;
-  return *unresolved_branches_.begin() < seq;
+  return !unresolved_branches_.empty() && unresolved_branches_.front() < seq;
+}
+
+void Core::erase_seq(std::vector<SeqNum>& seqs, SeqNum seq) {
+  const auto it = std::lower_bound(seqs.begin(), seqs.end(), seq);
+  if (it != seqs.end() && *it == seq) seqs.erase(it);
 }
 
 // --------------------------------------------------------------------------
@@ -410,7 +463,7 @@ void Core::release_shadow(DynInst& di) {
   // Squash handling is a policy decision point: every shipped policy
   // annuls in place (Fig 3); a policy answering false promotes squashed
   // state anyway — the insecure strawman for annulment-cost ablations.
-  if (!policy_->annul_on_squash()) {
+  if (!annul_on_squash_) {
     promote_shadow(di);
     return;
   }
@@ -444,19 +497,31 @@ void Core::release_shadow(DynInst& di) {
 // --------------------------------------------------------------------------
 
 void Core::stage_issue() {
+  // Walk only the waiting (dispatched, unissued) entries — waiting_ is
+  // seq-ordered, so candidates are visited oldest-first exactly as a full
+  // ROB scan would.
   int issued = 0;
-  for (std::size_t i = 0; i < rob_.size() && issued < config_.issue_width;
-       ++i) {
-    DynInst& di = rob_[i];
-    if (di.state != InstState::kWaiting) continue;
-    if (!di.src1_ready || !di.src2_ready) continue;
+  for (std::size_t w = 0;
+       w < waiting_.size() && issued < config_.issue_width;) {
+    DynInst* di = find_by_seq(waiting_[w]);
+    assert(di != nullptr && di->state == InstState::kWaiting);
+    if (!di->src1_ready || !di->src2_ready) {
+      ++w;
+      continue;
+    }
     // A fence executes only once it is the oldest instruction (its whole
     // ordering purpose).
-    if (di.inst.op == OpClass::kFence && rob_.front().seq != di.seq) continue;
-    if (execute(di)) {
-      di.state = InstState::kIssued;
-      --iq_occupancy_;
+    if (di->inst.op == OpClass::kFence && rob_.front().seq != di->seq) {
+      ++w;
+      continue;
+    }
+    if (execute(*di)) {
+      di->state = InstState::kIssued;
+      next_complete_cycle_ = std::min(next_complete_cycle_, di->done_cycle);
+      waiting_.erase(waiting_.begin() + static_cast<std::ptrdiff_t>(w));
       ++issued;
+    } else {
+      ++w;
     }
   }
 }
@@ -509,14 +574,21 @@ bool Core::execute(DynInst& di) {
 
       // Memory ordering: scan older stores. Any older store with an
       // unknown address blocks us (conservative disambiguation); the
-      // youngest older store to the same word forwards its data.
+      // youngest older store to the same word forwards its data. The scan
+      // is skipped outright when no store is in flight anywhere.
       const Addr word = di.effective_addr >> 3;
       const DynInst* forwarding_store = nullptr;
-      for (const DynInst& other : rob_) {
-        if (other.seq >= di.seq) break;
-        if (!other.is_store()) continue;
-        if (other.state == InstState::kWaiting) return false;  // addr unknown
-        if ((other.effective_addr >> 3) == word) forwarding_store = &other;
+      if (stores_in_flight_ > 0) {
+        const std::size_t older =
+            static_cast<std::size_t>(di.seq - rob_.front().seq);
+        for (std::size_t i = 0; i < older; ++i) {
+          const DynInst& other = rob_[i];
+          if (!other.is_store()) continue;
+          if (other.state == InstState::kWaiting) {
+            return false;  // addr unknown
+          }
+          if ((other.effective_addr >> 3) == word) forwarding_store = &other;
+        }
       }
       if (forwarding_store != nullptr) {
         di.result = forwarding_store->src2_value;
@@ -642,7 +714,9 @@ Cycle Core::translate_data(DynInst& di, bool& stall) {
 
 Cycle Core::walk_page_table(DynInst* di, Addr vpage) {
   Cycle latency = 0;
-  for (const Addr entry_addr : page_table_->walk_addresses(vpage)) {
+  Addr walk_lines[memory::PageTable::kWalkLevels];
+  page_table_->walk_addresses(vpage, walk_lines);
+  for (const Addr entry_addr : walk_lines) {
     if (!protection_on()) {
       latency += hierarchy_
                      .timed_access(entry_addr, Side::kData,
@@ -755,15 +829,21 @@ void Core::bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
 }
 
 DynInst* Core::find_by_seq(SeqNum seq) {
-  for (DynInst& di : rob_) {
-    if (di.seq == seq) return &di;
-  }
-  return nullptr;
+  if (rob_.empty()) return nullptr;
+  const SeqNum front_seq = rob_.front().seq;
+  if (seq < front_seq || seq - front_seq >= rob_.size()) return nullptr;
+  DynInst& di = rob_[static_cast<std::size_t>(seq - front_seq)];
+  assert(di.seq == seq && "ROB seqs must be contiguous");
+  return &di;
 }
 
 void Core::wake_dependents(const DynInst& producer) {
-  for (DynInst& di : rob_) {
-    if (di.seq <= producer.seq) continue;
+  // Dependents are strictly younger: start one past the producer's slot.
+  const SeqNum front_seq = rob_.front().seq;
+  for (std::size_t i =
+           static_cast<std::size_t>(producer.seq - front_seq) + 1;
+       i < rob_.size(); ++i) {
+    DynInst& di = rob_[i];
     if (!di.src1_ready && di.src1_producer == producer.seq) {
       di.src1_value = producer.result;
       di.src1_ready = true;
@@ -781,7 +861,10 @@ void Core::stage_dispatch() {
     FetchedInst& fi = fetch_queue_.front();
     if (fi.ready_at > cycle_) return;
     if (fence_active_) return;
-    if (rob_full() || iq_occupancy_ >= config_.iq_entries) return;
+    if (rob_full() ||
+        static_cast<int>(waiting_.size()) >= config_.iq_entries) {
+      return;
+    }
     if (fi.inst.op == OpClass::kLoad &&
         loads_in_flight_ >= config_.ldq_entries) {
       return;
@@ -827,12 +910,12 @@ void Core::stage_dispatch() {
     if (di.inst.op == OpClass::kBranch ||
         di.inst.op == OpClass::kBranchIndirect ||
         di.inst.op == OpClass::kRet) {
-      unresolved_branches_.insert(di.seq);
+      unresolved_branches_.push_back(di.seq);  // seqs ascend: stays sorted
     }
     if (di.is_load()) ++loads_in_flight_;
     if (di.is_store()) ++stores_in_flight_;
     if (di.inst.op == OpClass::kFence) fence_active_ = true;
-    ++iq_occupancy_;
+    waiting_.push_back(di.seq);  // seqs ascend: stays sorted
 
     rob_.push_back(std::move(di));
     fetch_queue_.pop_front();
@@ -1036,10 +1119,12 @@ void Core::restart_at(Addr pc) {
   fetch_queue_.clear();
   release_pending_fetch_refs();
   unresolved_branches_.clear();
+  waiting_.clear();
+  next_complete_cycle_ = kNeverCycle;
+  promoted_below_seq_ = 0;
   std::fill(std::begin(rename_), std::end(rename_), SeqNum{0});
   loads_in_flight_ = 0;
   stores_in_flight_ = 0;
-  iq_occupancy_ = 0;
   fence_active_ = false;
   fetch_stalled_ = false;
   fetch_busy_until_ = cycle_ + 1;

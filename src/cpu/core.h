@@ -24,12 +24,11 @@
 //     the paper's conservative assumption.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <optional>
-#include <set>
 #include <vector>
 
+#include "common/ring_buffer.h"
 #include "common/stats.h"
 #include "common/types.h"
 #include "cpu/dyn_inst.h"
@@ -219,6 +218,9 @@ class Core {
   bool rob_full() const {
     return static_cast<int>(rob_.size()) >= config_.rob_entries;
   }
+  /// O(1): ROB sequence numbers are contiguous (dispatch appends
+  /// next_seq_++; squash/commit only pop the ends), so an in-flight seq's
+  /// slot is seq - rob_.front().seq.
   DynInst* find_by_seq(SeqNum seq);
   void wake_dependents(const DynInst& producer);
   bool older_unresolved_branch_exists(SeqNum seq) const;
@@ -260,11 +262,19 @@ class Core {
   void bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
                     SeqNum& producer);
 
-  bool protection_on() const { return policy_->shadows_speculation(); }
+  bool protection_on() const { return protection_on_; }
+
+  /// Removes `seq` from a sorted seq vector (no-op when absent).
+  static void erase_seq(std::vector<SeqNum>& seqs, SeqNum seq);
 
   // ---- configuration / substrate ---------------------------------------
   CoreConfig config_;
   const policy::ProtectionPolicy* policy_;  ///< registry singleton
+  // Policy decision points cached out of the virtual calls — consulted
+  // several times per simulated cycle, fixed for the core's lifetime.
+  bool protection_on_ = false;
+  bool promote_at_resolution_ = false;
+  bool annul_on_squash_ = true;
   const isa::Program* program_;
   memory::MainMemory* mem_;
   memory::PageTable* page_table_;
@@ -286,9 +296,26 @@ class Core {
   // ---- pipeline state -----------------------------------------------------
   Cycle cycle_ = 0;
   SeqNum next_seq_ = 1;
-  std::deque<DynInst> rob_;
-  std::deque<FetchedInst> fetch_queue_;
-  std::set<SeqNum> unresolved_branches_;
+  // Pre-sized rings: the ROB and fetch buffer have hard architectural
+  // bounds, so their storage is one contiguous slab each (the per-cycle
+  // walks below iterate these).
+  RingBuffer<DynInst> rob_;
+  RingBuffer<FetchedInst> fetch_queue_;
+  /// Seqs of unresolved kBranch/kBranchIndirect/kRet entries, ascending
+  /// (dispatch appends monotonically; front() is the WFB frontier).
+  std::vector<SeqNum> unresolved_branches_;
+  /// Seqs of kWaiting (dispatched, not yet issued) entries, ascending —
+  /// stage_issue walks these instead of the whole ROB. Its size is the
+  /// issue-queue occupancy.
+  std::vector<SeqNum> waiting_;
+  /// Earliest done_cycle over kIssued entries (lower bound; may be stale
+  /// low after a squash). stage_complete is a no-op until then.
+  Cycle next_complete_cycle_ = kNeverCycle;
+  /// WFB sweep hint: every live entry with seq below this is already
+  /// shadow_promoted, so the promotion sweep starts here.
+  SeqNum promoted_below_seq_ = 0;
+
+  static constexpr Cycle kNeverCycle = ~Cycle{0};
 
   // Rename: arch reg -> producing seq (0 = value lives in regs_).
   SeqNum rename_[kNumArchRegs] = {};
@@ -302,7 +329,6 @@ class Core {
   int pending_itlb_ = -1;
   int loads_in_flight_ = 0;         ///< LDQ occupancy
   int stores_in_flight_ = 0;        ///< STQ occupancy
-  int iq_occupancy_ = 0;            ///< dispatched but not yet issued
   bool fence_active_ = false;       ///< a kFence is in the ROB
   bool halted_ = false;
   StopReason stop_reason_ = StopReason::kMaxCycles;

@@ -10,21 +10,18 @@ void Program::place(Addr pc, const Instruction& inst, bool overwrite) {
   if (pc % kInstrBytes != 0) {
     throw std::invalid_argument("Program::place: misaligned pc");
   }
-  if (!overwrite && text_.count(pc) != 0) {
+  if (!overwrite && text_.contains(pc)) {
     throw std::invalid_argument("Program::place: pc already occupied");
   }
   text_[pc] = inst;
 }
 
-const Instruction* Program::at(Addr pc) const {
-  auto it = text_.find(pc);
-  return it == text_.end() ? nullptr : &it->second;
-}
+const Instruction* Program::at(Addr pc) const { return text_.find(pc); }
 
 std::vector<Addr> Program::pcs() const {
   std::vector<Addr> out;
   out.reserve(text_.size());
-  for (const auto& [pc, inst] : text_) out.push_back(pc);
+  text_.for_each([&out](Addr pc, const Instruction&) { out.push_back(pc); });
   std::sort(out.begin(), out.end());
   return out;
 }

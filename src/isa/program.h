@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.h"
 #include "common/types.h"
 #include "isa/instruction.h"
 
@@ -28,7 +29,7 @@ class Program {
   /// garbage targets terminates cleanly).
   const Instruction* at(Addr pc) const;
 
-  bool contains(Addr pc) const { return text_.count(pc) != 0; }
+  bool contains(Addr pc) const { return text_.contains(pc); }
   std::size_t size() const { return text_.size(); }
 
   Addr entry() const { return entry_; }
@@ -43,7 +44,7 @@ class Program {
   std::vector<Addr> pcs() const;
 
  private:
-  std::unordered_map<Addr, Instruction> text_;
+  AddrMap<Instruction> text_;  ///< fetch looks this up every instruction
   Addr entry_ = 0;
   std::optional<Addr> fault_handler_;
 };

@@ -7,9 +7,9 @@ namespace safespec::memory {
 void MainMemory::map_page(Addr page, PagePerm perm) { perms_[page] = perm; }
 
 std::optional<PagePerm> MainMemory::page_perm(Addr page) const {
-  auto it = perms_.find(page);
-  if (it == perms_.end()) return std::nullopt;
-  return it->second;
+  const PagePerm* perm = perms_.find(page);
+  if (perm == nullptr) return std::nullopt;
+  return *perm;
 }
 
 bool MainMemory::access_ok(Addr page, PrivLevel level) const {
@@ -20,8 +20,8 @@ bool MainMemory::access_ok(Addr page, PrivLevel level) const {
 }
 
 std::uint64_t MainMemory::read64(Addr addr) const {
-  auto it = words_.find(word_of(addr));
-  return it == words_.end() ? 0 : it->second;
+  const std::uint64_t* word = words_.find(word_of(addr));
+  return word == nullptr ? 0 : *word;
 }
 
 void MainMemory::write64(Addr addr, std::uint64_t value) {
@@ -32,9 +32,9 @@ std::vector<std::pair<Addr, std::uint64_t>> MainMemory::nonzero_words()
     const {
   std::vector<std::pair<Addr, std::uint64_t>> out;
   out.reserve(words_.size());
-  for (const auto& [word, value] : words_) {
+  words_.for_each([&out](Addr word, std::uint64_t value) {
     if (value != 0) out.emplace_back(word << 3, value);
-  }
+  });
   std::sort(out.begin(), out.end());
   return out;
 }

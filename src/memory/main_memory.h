@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/addr_map.h"
 #include "common/types.h"
 
 namespace safespec::memory {
@@ -40,7 +40,7 @@ class MainMemory {
   /// to unmapped; mapping is idempotent (re-mapping updates permission).
   void map_page(Addr page, PagePerm perm);
 
-  bool is_mapped(Addr page) const { return perms_.count(page) != 0; }
+  bool is_mapped(Addr page) const { return perms_.contains(page); }
 
   /// Permission of a mapped page; nullopt when unmapped.
   std::optional<PagePerm> page_perm(Addr page) const;
@@ -67,8 +67,8 @@ class MainMemory {
  private:
   static Addr word_of(Addr addr) { return addr >> 3; }
 
-  std::unordered_map<Addr, std::uint64_t> words_;   // keyed by word index
-  std::unordered_map<Addr, PagePerm> perms_;        // keyed by page number
+  AddrMap<std::uint64_t> words_;   // keyed by word index
+  AddrMap<PagePerm> perms_;        // keyed by page number
 };
 
 }  // namespace safespec::memory

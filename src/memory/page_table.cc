@@ -7,9 +7,8 @@ void PageTable::map(Addr vpage, Addr ppage, bool kernel_only) {
 }
 
 Translation PageTable::translate(Addr vpage) const {
-  auto it = table_.find(vpage);
-  if (it == table_.end()) return Translation{};
-  return it->second;
+  const Translation* xlat = table_.find(vpage);
+  return xlat == nullptr ? Translation{} : *xlat;
 }
 
 namespace {
@@ -25,7 +24,7 @@ Addr mix(Addr x) {
 }
 }  // namespace
 
-std::vector<Addr> PageTable::walk_addresses(Addr vpage) const {
+void PageTable::walk_addresses(Addr vpage, Addr out[kWalkLevels]) const {
   // x86-64-style radix walk: level L's table is selected by the vpage
   // bits above level L (so all pages share the root table, nearby pages
   // share lower tables — real walker locality), and the entry within the
@@ -33,19 +32,20 @@ std::vector<Addr> PageTable::walk_addresses(Addr vpage) const {
   // heap" region disjoint from workload data.
   constexpr Addr kPageTableBase = 0xFFFF'0000'0000ULL;
   constexpr Addr kHeapPages = 1ULL << 20;
-  std::vector<Addr> lines;
-  lines.reserve(kWalkLevels);
   for (int level = 0; level < kWalkLevels; ++level) {
     const int shift = 9 * (kWalkLevels - level);
     const Addr table_path = shift >= 64 ? 0 : (vpage >> shift);
     const Addr index = (vpage >> (9 * (kWalkLevels - 1 - level))) & 0x1FF;
     const Addr table_page =
         mix(table_path * kWalkLevels + static_cast<Addr>(level)) % kHeapPages;
-    const Addr entry_addr =
-        kPageTableBase + table_page * kPageSize + index * 8;
-    lines.push_back(entry_addr);
+    out[level] = kPageTableBase + table_page * kPageSize + index * 8;
   }
-  return lines;
+}
+
+std::vector<Addr> PageTable::walk_addresses(Addr vpage) const {
+  Addr lines[kWalkLevels];
+  walk_addresses(vpage, lines);
+  return std::vector<Addr>(lines, lines + kWalkLevels);
 }
 
 }  // namespace safespec::memory

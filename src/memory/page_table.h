@@ -13,9 +13,9 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/addr_map.h"
 #include "common/types.h"
 #include "memory/main_memory.h"
 
@@ -52,10 +52,14 @@ class PageTable {
   /// don't) in the caches.
   std::vector<Addr> walk_addresses(Addr vpage) const;
 
+  /// Allocation-free variant for the core's per-walk hot path: fills
+  /// `out[kWalkLevels]` with the same addresses, in the same order.
+  void walk_addresses(Addr vpage, Addr out[kWalkLevels]) const;
+
   std::size_t mapped_pages() const { return table_.size(); }
 
  private:
-  std::unordered_map<Addr, Translation> table_;
+  AddrMap<Translation> table_;
 };
 
 }  // namespace safespec::memory

@@ -17,11 +17,14 @@
 // so the TSA PoC can demonstrate the channel and its closure.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/stats.h"
 #include "common/types.h"
 
@@ -70,6 +73,14 @@ struct ShadowStats {
 /// Generic reference-counted shadow table. `Payload` is the datum being
 /// shadowed (nothing for cache lines — presence is the datum — or a
 /// physical page + permission for TLB entries).
+///
+/// Internals are built for the simulator's hot path: entries live in a
+/// fixed slab, a free list makes allocation O(1), and an open-addressing
+/// key->EntryId index (linear probing, backward-shift deletion) makes
+/// acquire_existing / contains O(1) amortized instead of an O(entries)
+/// scan. The index relies on the callers' access discipline — always try
+/// acquire_existing before insert — which keeps live keys unique (the
+/// core upholds this; insert asserts it in debug builds).
 template <typename Payload>
 class ShadowTable {
  public:
@@ -77,49 +88,48 @@ class ShadowTable {
   static constexpr EntryId kNone = -1;
 
   explicit ShadowTable(const ShadowConfig& config)
-      : config_(config), entries_(static_cast<std::size_t>(config.entries)) {}
+      : config_(config),
+        entries_(static_cast<std::size_t>(config.entries)),
+        slots_(index_capacity(config.entries), kNone),
+        mask_(slots_.size() - 1) {
+    reset_free_list();
+  }
 
   /// Looks up `key` among live entries; bumps the refcount on hit so the
   /// caller co-owns the entry. Records a shadow hit unless `count_stats`
   /// is false (used when several instructions of one fetch group share a
   /// line, which would otherwise inflate per-access hit statistics).
   EntryId acquire_existing(Addr key, bool count_stats = true) {
-    for (EntryId id = 0; id < config_.entries; ++id) {
-      Entry& e = entries_[static_cast<std::size_t>(id)];
-      if (e.live && e.key == key) {
-        ++e.refs;
-        if (count_stats) stats_.hits.add();
-        return id;
-      }
-    }
-    return kNone;
+    const EntryId id = slots_[find_slot(key)];
+    if (id == kNone) return kNone;
+    ++entries_[static_cast<std::size_t>(id)].refs;
+    if (count_stats) stats_.hits.add();
+    return id;
   }
 
   /// Side-effect-free presence test (tests / attack assertions).
-  bool contains(Addr key) const {
-    for (const Entry& e : entries_) {
-      if (e.live && e.key == key) return true;
-    }
-    return false;
-  }
+  bool contains(Addr key) const { return slots_[find_slot(key)] != kNone; }
 
   /// Allocates a new entry for `key` with refcount 1. Returns kNone when
   /// the table is full; the per-policy counter records whether that means
   /// a dropped update (kDrop) or a stalled requester (kStall) — the
   /// *caller* implements the stall by retrying next cycle.
   EntryId insert(Addr key, const Payload& payload) {
-    for (EntryId id = 0; id < config_.entries; ++id) {
+    if (!free_.empty()) {
+      const EntryId id = free_.back();
+      free_.pop_back();
       Entry& e = entries_[static_cast<std::size_t>(id)];
-      if (!e.live) {
-        e.live = true;
-        e.key = key;
-        e.payload = payload;
-        e.refs = 1;
-        e.promoted = false;
-        stats_.inserts.add();
-        ++live_count_;
-        return id;
-      }
+      e.live = true;
+      e.key = key;
+      e.payload = payload;
+      e.refs = 1;
+      e.promoted = false;
+      const std::size_t slot = find_slot(key);
+      assert(slots_[slot] == kNone && "duplicate live key");
+      slots_[slot] = id;
+      stats_.inserts.add();
+      ++live_count_;
+      return id;
     }
     if (config_.full_policy == FullPolicy::kDrop) {
       stats_.full_drops.add();
@@ -152,6 +162,8 @@ class ShadowTable {
       if (!e.promoted) stats_.squashed.add();
       e.live = false;
       --live_count_;
+      index_erase(e.key);
+      free_.push_back(id);
     }
   }
 
@@ -167,9 +179,11 @@ class ShadowTable {
   /// the final commit/squash drain (a differential-harness invariant).
   bool empty() const { return live_count_ == 0; }
 
-  /// Cycle-granularity occupancy sample (Figs 6-9).
+  /// Cycle-granularity occupancy sample (Figs 6-9). Run-length batched:
+  /// occupancy rarely changes between consecutive cycles, so most samples
+  /// cost one compare-and-increment (see Histogram::record_run).
   void sample_occupancy() {
-    stats_.occupancy.record(static_cast<std::uint64_t>(live_count_));
+    stats_.occupancy.record_run(static_cast<std::uint64_t>(live_count_));
   }
 
   ShadowStats& stats() { return stats_; }
@@ -185,6 +199,8 @@ class ShadowTable {
       e.refs = 0;
     }
     live_count_ = 0;
+    std::fill(slots_.begin(), slots_.end(), kNone);
+    reset_free_list();
   }
 
  private:
@@ -196,6 +212,58 @@ class ShadowTable {
     bool promoted = false;
   };
 
+  /// Power-of-two index size at <= 50% load so probe chains stay short.
+  static std::size_t index_capacity(int entries) {
+    std::size_t cap = 16;
+    while (cap < 2 * static_cast<std::size_t>(entries < 0 ? 0 : entries)) {
+      cap *= 2;
+    }
+    return cap;
+  }
+
+  /// Linear probe to `key`'s slot: either the slot holding it or the
+  /// first empty slot on its chain (a miss).
+  std::size_t find_slot(Addr key) const {
+    std::size_t i = mix64(key) & mask_;
+    while (slots_[i] != kNone &&
+           entries_[static_cast<std::size_t>(slots_[i])].key != key) {
+      i = (i + 1) & mask_;
+    }
+    return i;
+  }
+
+  /// Backward-shift deletion: refill the emptied slot from the tail of
+  /// its probe chain so later lookups never stop at a false empty.
+  void index_erase(Addr key) {
+    std::size_t i = find_slot(key);
+    assert(slots_[i] != kNone && "erasing a key absent from the index");
+    slots_[i] = kNone;
+    std::size_t j = i;
+    while (true) {
+      j = (j + 1) & mask_;
+      const EntryId moved = slots_[j];
+      if (moved == kNone) break;
+      const std::size_t ideal =
+          mix64(entries_[static_cast<std::size_t>(moved)].key) & mask_;
+      // Move slot j's entry into the hole at i unless its ideal slot
+      // lies cyclically within (i, j] — then the hole doesn't break its
+      // probe chain.
+      const bool keep = (i <= j) ? (ideal > i && ideal <= j)
+                                 : (ideal > i || ideal <= j);
+      if (!keep) {
+        slots_[i] = moved;
+        slots_[j] = kNone;
+        i = j;
+      }
+    }
+  }
+
+  void reset_free_list() {
+    free_.clear();
+    free_.reserve(entries_.size());
+    for (EntryId id = config_.entries; id-- > 0;) free_.push_back(id);
+  }
+
   Entry& entry(EntryId id) { return entries_[static_cast<std::size_t>(id)]; }
   const Entry& entry(EntryId id) const {
     return entries_[static_cast<std::size_t>(id)];
@@ -203,6 +271,9 @@ class ShadowTable {
 
   ShadowConfig config_;
   std::vector<Entry> entries_;
+  std::vector<EntryId> slots_;  ///< open-addressing key->EntryId index
+  std::size_t mask_;            ///< slots_.size() - 1 (power of two)
+  std::vector<EntryId> free_;   ///< LIFO free list (top = next allocation)
   int live_count_ = 0;
   ShadowStats stats_;
 };

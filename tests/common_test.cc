@@ -170,6 +170,57 @@ TEST(HistogramTest, ResetClears) {
   EXPECT_EQ(h.max(), 0u);
 }
 
+TEST(HistogramTest, ResetDropsPendingRun) {
+  Histogram h;
+  h.record_run(5);
+  h.record_run(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  h.record_run(1);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.max(), 1u);
+}
+
+TEST(HistogramProperty, RecordRunMatchesRecord) {
+  // record_run is the occupancy-sampling fast path; any interleaving of
+  // record/record_run must produce statistics identical to plain record.
+  Histogram batched, plain;
+  Rng rng(2024);
+  std::uint64_t value = 0;
+  for (int i = 0; i < 20000; ++i) {
+    // Mostly repeat the previous sample (realistic occupancy runs),
+    // sometimes jump, sometimes go through the unbatched entry point.
+    if (rng.below(8) == 0) value = rng.below(64);
+    if (rng.below(50) == 0) {
+      batched.record(value);
+    } else {
+      batched.record_run(value);
+    }
+    plain.record(value);
+    if (i % 1000 == 0) {
+      // Mid-stream reads must flush the pending run, not lose it.
+      EXPECT_EQ(batched.count(), plain.count());
+    }
+  }
+  EXPECT_EQ(batched.count(), plain.count());
+  EXPECT_EQ(batched.max(), plain.max());
+  EXPECT_DOUBLE_EQ(batched.mean(), plain.mean());
+  for (double f : {0.1, 0.5, 0.9, 0.99, 0.9999, 1.0}) {
+    EXPECT_EQ(batched.percentile(f), plain.percentile(f)) << "fraction " << f;
+  }
+}
+
+TEST(HistogramTest, MergeFlushesPendingRuns) {
+  Histogram a, b;
+  a.record_run(2);
+  a.record_run(2);
+  b.record_run(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.max(), 9u);
+  EXPECT_DOUBLE_EQ(a.mean(), 13.0 / 3.0);
+}
+
 TEST(HistogramProperty, PercentileMonotoneInFraction) {
   Histogram h;
   Rng rng(99);

@@ -198,6 +198,54 @@ TEST(Policies, WfbPromotesAfterBranchResolutionBeforeCommit) {
       << "WFB must promote once older branches resolve, pre-commit";
 }
 
+TEST(Policies, WfbStillPromotesAtResolutionAfterFaultRecovery) {
+  // Regression: a committed fault squashes the (already-swept) wrong
+  // path and rewinds instruction numbering; the promotion sweep's
+  // progress hint must be clamped with it, or every handler-path
+  // instruction reuses a seq the sweep believes it has already promoted
+  // — silently degrading WFB to commit-time (WFC) promotion after any
+  // fault recovery.
+  constexpr Addr kKernel = 0x700000;  // kernel-only: the committed fault
+  constexpr Addr kBlock = 0x7B0000;   // slow head-of-handler load
+  constexpr Addr kProbe = 0x7C0000;   // handler line whose timing we watch
+  ProgramBuilder b(0x1000);
+  b.movi(1, kKernel);
+  b.load(2, 1, 0);  // faults at commit; speculation continues past it
+  // Wrong-path window: enough promotable work to advance the sweep past
+  // the faulting load before it commits.
+  for (int i = 0; i < 12; ++i) b.alui(AluOp::kAdd, 7, 7, 1);
+  b.halt();  // wrong path only
+  b.at(0x8000).label("handler");
+  // No fences here: the loads must sit in the handler's *first* dispatch
+  // group, where their reused seqs land below the stale hint.
+  b.movi(3, kBlock).movi(4, kProbe);
+  b.load(5, 3, 0);  // cold miss to memory: blocks the commit stream
+  b.load(6, 4, 0);  // must promote at resolution, pre-commit
+  b.halt();
+  auto prog = b.build();
+  prog.set_entry(0x1000);
+  prog.set_fault_handler(0x8000);
+  auto s = make_sim(std::move(prog), CommitPolicy::kWFB);
+  s.map_region(kKernel, kPageSize, memory::PagePerm::kKernel);
+  s.map_region(kBlock, kPageSize);
+  s.map_region(kProbe, kPageSize);
+  bool promoted_before_commit = false;
+  for (int i = 0; i < 20000 && !s.core().halted(); ++i) {
+    s.core().step();
+    // Commits before the blocker retires: pre-fault movi + two handler
+    // movis = 3. The probe line appearing while the blocker still holds
+    // the commit stream proves resolution-time promotion survived the
+    // recovery.
+    if (s.core().stats().committed_instrs < 4 &&
+        s.core().hierarchy().resident_l3(line_of(kProbe))) {
+      promoted_before_commit = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(promoted_before_commit)
+      << "fault recovery must not disable WFB's resolution-time promotion";
+}
+
 TEST(Policies, WfcDoesNotPromoteThatEarly) {
   // Same construction under WFC: as long as the slow older load blocks
   // commit, the probe line must NOT be in the primary caches.

@@ -1,0 +1,334 @@
+// Equivalence tests for the indexed ShadowTable implementation.
+//
+// The table's hot paths (acquire/contains/insert/release) run on an
+// open-addressing key index plus a free list; these tests drive long
+// randomized insert/acquire/release/promote/flush sequences — mirroring
+// the core's access discipline (acquire_existing before insert, live keys
+// unique) — against a deliberately naive reference table that re-states
+// the original O(entries) linear-scan semantics, and require every
+// observable (lookup outcomes, live counts, full-table handling, all
+// lifecycle statistics, occupancy percentiles) to match exactly. Plus
+// directed full-table kDrop/kStall edge cases.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "safespec/shadow_structures.h"
+
+namespace safespec::shadow {
+namespace {
+
+/// The pre-index semantics, restated as plainly as possible: linear
+/// scans over a slab, lowest-free-slot allocation. Deliberately not
+/// shared with the production header — this is the oracle.
+class NaiveTable {
+ public:
+  explicit NaiveTable(const ShadowConfig& config)
+      : config_(config), entries_(static_cast<std::size_t>(config.entries)) {}
+
+  int acquire_existing(Addr key, bool count_stats = true) {
+    for (int id = 0; id < config_.entries; ++id) {
+      Entry& e = entries_[static_cast<std::size_t>(id)];
+      if (e.live && e.key == key) {
+        ++e.refs;
+        if (count_stats) stats_.hits.add();
+        return id;
+      }
+    }
+    return -1;
+  }
+
+  bool contains(Addr key) const {
+    for (const Entry& e : entries_) {
+      if (e.live && e.key == key) return true;
+    }
+    return false;
+  }
+
+  int insert(Addr key, Addr payload) {
+    for (int id = 0; id < config_.entries; ++id) {
+      Entry& e = entries_[static_cast<std::size_t>(id)];
+      if (!e.live) {
+        e.live = true;
+        e.key = key;
+        e.payload = payload;
+        e.refs = 1;
+        e.promoted = false;
+        stats_.inserts.add();
+        ++live_count_;
+        return id;
+      }
+    }
+    if (config_.full_policy == FullPolicy::kDrop) {
+      stats_.full_drops.add();
+    } else {
+      stats_.full_stalls.add();
+    }
+    return -1;
+  }
+
+  bool has_room() const { return live_count_ < config_.entries; }
+
+  void mark_promoted(int id) {
+    Entry& e = entries_[static_cast<std::size_t>(id)];
+    if (!e.promoted) {
+      e.promoted = true;
+      stats_.committed.add();
+    }
+  }
+
+  void release(int id) {
+    Entry& e = entries_[static_cast<std::size_t>(id)];
+    --e.refs;
+    if (e.refs == 0) {
+      if (!e.promoted) stats_.squashed.add();
+      e.live = false;
+      --live_count_;
+    }
+  }
+
+  Addr payload_of(int id) const {
+    return entries_[static_cast<std::size_t>(id)].payload;
+  }
+
+  void flush_all() {
+    for (Entry& e : entries_) {
+      if (e.live && !e.promoted) stats_.squashed.add();
+      e.live = false;
+      e.refs = 0;
+    }
+    live_count_ = 0;
+  }
+
+  void sample_occupancy() {
+    stats_.occupancy.record(static_cast<std::uint64_t>(live_count_));
+  }
+
+  int live_count() const { return live_count_; }
+  const ShadowStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Addr key = 0;
+    Addr payload = 0;
+    int refs = 0;
+    bool live = false;
+    bool promoted = false;
+  };
+
+  ShadowConfig config_;
+  std::vector<Entry> entries_;
+  int live_count_ = 0;
+  ShadowStats stats_;
+};
+
+/// One outstanding reference, held by both tables under (usually
+/// different) entry ids — ids are handles, not observables.
+struct HandlePair {
+  Addr key = 0;
+  int real_id = 0;
+  int naive_id = 0;
+};
+
+void expect_stats_equal(const ShadowStats& a, const ShadowStats& b) {
+  EXPECT_EQ(a.inserts.value(), b.inserts.value());
+  EXPECT_EQ(a.hits.value(), b.hits.value());
+  EXPECT_EQ(a.committed.value(), b.committed.value());
+  EXPECT_EQ(a.squashed.value(), b.squashed.value());
+  EXPECT_EQ(a.full_drops.value(), b.full_drops.value());
+  EXPECT_EQ(a.full_stalls.value(), b.full_stalls.value());
+  EXPECT_EQ(a.occupancy.count(), b.occupancy.count());
+  EXPECT_EQ(a.occupancy.max(), b.occupancy.max());
+  EXPECT_EQ(a.occupancy.percentile(0.9999), b.occupancy.percentile(0.9999));
+}
+
+/// Drives `ops` random operations against both implementations and
+/// checks every observable after each step. Key space is deliberately
+/// barely larger than the table so full-table handling is exercised.
+void run_equivalence(std::uint64_t seed, int entries, FullPolicy policy,
+                     int ops) {
+  const ShadowConfig config{"equiv", entries, policy};
+  ShadowTlb real(config);
+  NaiveTable naive(config);
+  Rng rng(seed);
+  std::vector<HandlePair> held;
+
+  const std::uint64_t key_space =
+      static_cast<std::uint64_t>(entries) * 2 + 3;
+
+  for (int op = 0; op < ops; ++op) {
+    switch (rng.below(10)) {
+      case 0:
+      case 1:
+      case 2:
+      case 3: {  // touch a key: acquire if live, insert otherwise
+        const Addr key = 0x1000 + rng.below(key_space);
+        ASSERT_EQ(real.contains(key), naive.contains(key)) << "key " << key;
+        if (real.contains(key)) {
+          const bool quiet = rng.below(4) == 0;
+          const int rid = real.acquire_existing(key, !quiet);
+          const int nid = naive.acquire_existing(key, !quiet);
+          ASSERT_NE(rid, ShadowTlb::kNone);
+          ASSERT_NE(nid, -1);
+          EXPECT_EQ(real.payload_of(rid).ppage, naive.payload_of(nid));
+          held.push_back({key, rid, nid});
+        } else {
+          const Addr payload = key ^ 0xABCD;
+          ASSERT_EQ(real.has_room(), naive.has_room());
+          const int rid = real.insert(key, {payload, false});
+          const int nid = naive.insert(key, payload);
+          ASSERT_EQ(rid == ShadowTlb::kNone, nid == -1)
+              << "insert success must match at op " << op;
+          if (rid != ShadowTlb::kNone) held.push_back({key, rid, nid});
+        }
+        break;
+      }
+      case 4:
+      case 5:
+      case 6: {  // release one outstanding reference
+        if (held.empty()) break;
+        const std::size_t pick = rng.below(held.size());
+        real.release(held[pick].real_id);
+        naive.release(held[pick].naive_id);
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(pick));
+        break;
+      }
+      case 7: {  // promote (idempotent across shared references)
+        if (held.empty()) break;
+        const std::size_t pick = rng.below(held.size());
+        real.mark_promoted(held[pick].real_id);
+        naive.mark_promoted(held[pick].naive_id);
+        break;
+      }
+      case 8: {  // occupancy sample (record_run vs record equivalence)
+        real.sample_occupancy();
+        naive.sample_occupancy();
+        break;
+      }
+      case 9: {  // rare full drain, as between attack trials
+        if (rng.below(50) == 0) {
+          real.flush_all();
+          naive.flush_all();
+          held.clear();
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(real.live_count(), naive.live_count()) << "op " << op;
+    ASSERT_EQ(real.has_room(), naive.has_room()) << "op " << op;
+  }
+
+  // Squash-drain: release everything, as the core's end-of-run drain
+  // invariant requires, and compare the final lifecycle statistics.
+  for (const HandlePair& h : held) {
+    real.release(h.real_id);
+    naive.release(h.naive_id);
+  }
+  EXPECT_TRUE(real.empty());
+  EXPECT_EQ(naive.live_count(), 0);
+  expect_stats_equal(real.stats(), naive.stats());
+}
+
+TEST(ShadowIndexEquivalence, RandomizedDropPolicy) {
+  run_equivalence(/*seed=*/1, /*entries=*/16, FullPolicy::kDrop, 20000);
+}
+
+TEST(ShadowIndexEquivalence, RandomizedStallPolicy) {
+  run_equivalence(/*seed=*/2, /*entries=*/16, FullPolicy::kStall, 20000);
+}
+
+TEST(ShadowIndexEquivalence, TinyTableChurn) {
+  // entries=2 keeps the table pinned at full, maximizing free-list reuse
+  // and index deletions.
+  run_equivalence(/*seed=*/3, /*entries=*/2, FullPolicy::kDrop, 20000);
+}
+
+TEST(ShadowIndexEquivalence, SecureSizedTable) {
+  // Paper-sized i-side table (ROB entries) with a key space that churns
+  // through many hash-index collisions and backward-shift deletions.
+  run_equivalence(/*seed=*/4, /*entries=*/224, FullPolicy::kStall, 40000);
+}
+
+TEST(ShadowIndexEquivalence, ManySeeds) {
+  for (std::uint64_t seed = 10; seed < 30; ++seed) {
+    run_equivalence(seed, /*entries=*/8, FullPolicy::kDrop, 3000);
+    run_equivalence(seed, /*entries=*/8, FullPolicy::kStall, 3000);
+  }
+}
+
+// ---- directed full-table edge cases ---------------------------------------
+
+TEST(ShadowIndexFullTable, DropAtCapacityKeepsResidents) {
+  ShadowCache t({"full", 4, FullPolicy::kDrop});
+  std::vector<int> ids;
+  for (Addr key = 100; key < 104; ++key) ids.push_back(t.insert(key, {}));
+  EXPECT_FALSE(t.has_room());
+  // Every further insert is dropped; residents stay findable.
+  for (Addr key = 200; key < 210; ++key) {
+    EXPECT_EQ(t.insert(key, {}), ShadowCache::kNone);
+    EXPECT_FALSE(t.contains(key));
+  }
+  EXPECT_EQ(t.stats().full_drops.value(), 10u);
+  EXPECT_EQ(t.stats().full_stalls.value(), 0u);
+  for (Addr key = 100; key < 104; ++key) EXPECT_TRUE(t.contains(key));
+  for (int id : ids) t.release(id);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowIndexFullTable, StallAtCapacityThenRetrySucceeds) {
+  ShadowCache t({"full", 4, FullPolicy::kStall});
+  std::vector<int> ids;
+  for (Addr key = 100; key < 104; ++key) ids.push_back(t.insert(key, {}));
+  EXPECT_EQ(t.insert(777, {}), ShadowCache::kNone);  // caller must stall
+  EXPECT_EQ(t.stats().full_stalls.value(), 1u);
+  EXPECT_EQ(t.stats().full_drops.value(), 0u);
+  // One release frees a slot; the retry lands and is findable.
+  t.release(ids[1]);
+  EXPECT_TRUE(t.has_room());
+  const int id = t.insert(777, {});
+  ASSERT_NE(id, ShadowCache::kNone);
+  EXPECT_TRUE(t.contains(777));
+  EXPECT_FALSE(t.contains(101));
+  t.release(ids[0]);
+  t.release(ids[2]);
+  t.release(ids[3]);
+  t.release(id);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowIndexFullTable, RefcountedSharingDoesNotConsumeCapacity) {
+  ShadowCache t({"full", 2, FullPolicy::kStall});
+  const int a = t.insert(1, {});
+  const int b = t.insert(2, {});
+  // Many sharers of resident lines never trip the full policy.
+  std::vector<int> sharers;
+  for (int i = 0; i < 64; ++i) {
+    sharers.push_back(t.acquire_existing(i % 2 == 0 ? 1 : 2));
+  }
+  EXPECT_EQ(t.stats().full_stalls.value(), 0u);
+  EXPECT_EQ(t.live_count(), 2);
+  for (int id : sharers) t.release(id);
+  t.release(a);
+  t.release(b);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ShadowIndexFullTable, FlushAllResetsCapacityAndIndex) {
+  ShadowCache t({"full", 4, FullPolicy::kDrop});
+  for (Addr key = 100; key < 104; ++key) t.insert(key, {});
+  t.flush_all();
+  EXPECT_TRUE(t.empty());
+  EXPECT_TRUE(t.has_room());
+  for (Addr key = 100; key < 104; ++key) EXPECT_FALSE(t.contains(key));
+  // The whole capacity is usable again and old keys re-insert cleanly.
+  for (Addr key = 100; key < 104; ++key) {
+    EXPECT_NE(t.insert(key, {}), ShadowCache::kNone);
+  }
+  EXPECT_FALSE(t.has_room());
+  t.flush_all();
+}
+
+}  // namespace
+}  // namespace safespec::shadow

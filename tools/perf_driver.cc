@@ -1,0 +1,269 @@
+// Simulation-throughput harness (the BENCH perf signal).
+//
+//   perf_driver                          # default cell grid, JSON to
+//                                        # BENCH_sim_throughput.json
+//   perf_driver --instrs=500000 --repeat=3
+//   perf_driver --out=perf.json --cells=mcf/WFC/skylake,gcc/baseline/skylake
+//
+// Each cell runs one representative workload profile under one protection
+// policy on one machine preset for a fixed committed-instruction budget,
+// measuring host wall time around the simulation loop only (program
+// generation and machine construction are excluded). The figure of merit
+// is MIPS — millions of simulated committed instructions per host wall
+// second — per cell and aggregated over the grid. Results are written as
+// machine-readable JSON so CI can archive them and successive runs can be
+// compared; with --repeat=N each cell reports its best-of-N (minimum
+// wall time), which filters scheduler noise on shared runners.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "safespec/policy.h"
+#include "sim/machine.h"
+#include "workloads/runner.h"
+#include "workloads/workload.h"
+
+namespace {
+
+using safespec::sim::SimResult;
+
+/// One grid point: workload profile x protection policy x machine preset.
+struct Cell {
+  std::string workload;
+  std::string policy;
+  std::string preset;
+};
+
+/// The default grid covers the hot-path variety that matters for
+/// throughput: pointer-chasing (mcf) and streaming (lbm) d-side traffic,
+/// a large code footprint stressing the i-side shadow (gcc), a
+/// branchy/squash-heavy control profile (exchange2), the kStall
+/// full-table path (WFB-stall), and the little "embedded" preset.
+std::vector<Cell> default_cells() {
+  return {
+      {"mcf", "baseline", "skylake"},  {"mcf", "WFC", "skylake"},
+      {"gcc", "baseline", "skylake"},  {"gcc", "WFC", "skylake"},
+      {"lbm", "baseline", "skylake"},  {"lbm", "WFB", "skylake"},
+      {"exchange2", "baseline", "skylake"},
+      {"exchange2", "WFC", "skylake"},
+      {"xalancbmk", "WFB-stall", "skylake"},
+      {"mcf", "WFC", "embedded"},
+  };
+}
+
+struct CellResult {
+  Cell cell;
+  std::uint64_t committed_instrs = 0;
+  std::uint64_t cycles = 0;
+  double wall_ms = 0.0;
+  const char* stop = "?";
+
+  double mips() const {
+    return wall_ms <= 0.0 ? 0.0
+                          : static_cast<double>(committed_instrs) /
+                                (wall_ms * 1e3);
+  }
+};
+
+std::uint64_t parse_u64_arg(const char* value, const char* flag) {
+  try {
+    return safespec::json::parse_u64(value, flag);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    std::exit(2);
+  }
+}
+
+void usage(const char* prog, std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: %s [--instrs=N] [--repeat=N] [--out=FILE] [--cells=...]\n"
+      "  --instrs=N    committed instructions per cell (default 200000)\n"
+      "  --repeat=N    runs per cell; best (fastest) one is reported\n"
+      "                (default 1)\n"
+      "  --out=FILE    JSON output path (default BENCH_sim_throughput.json;\n"
+      "                \"-\" suppresses the file)\n"
+      "  --cells=...   comma-separated workload/policy/preset triples\n"
+      "                (default: a representative 10-cell grid)\n",
+      prog);
+}
+
+std::vector<Cell> parse_cells(const std::string& text) {
+  std::vector<Cell> cells;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(start, comma - start);
+    const std::size_t a = item.find('/');
+    const std::size_t b = a == std::string::npos ? a : item.find('/', a + 1);
+    if (a == std::string::npos || b == std::string::npos) {
+      std::fprintf(stderr,
+                   "--cells item '%s' is not workload/policy/preset\n",
+                   item.c_str());
+      std::exit(2);
+    }
+    cells.push_back({item.substr(0, a), item.substr(a + 1, b - a - 1),
+                     item.substr(b + 1)});
+    start = comma + 1;
+  }
+  return cells;
+}
+
+bool flag_value(const char* arg, const char* name, const char** value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat) {
+  using namespace safespec;
+  const auto profile = workloads::profile_by_name(cell.workload);
+  cpu::CoreConfig config = sim::machine_preset(cell.preset).core;
+  config.policy = cell.policy;
+
+  CellResult best;
+  best.cell = cell;
+  for (int r = 0; r < repeat; ++r) {
+    // A fresh machine per run: the measurement is always a cold start,
+    // identical across repeats and across harness invocations.
+    auto sim = workloads::make_workload_sim(profile, config, instrs);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SimResult result = sim->run(instrs * 40 + 1'000'000, instrs);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (r == 0 || wall_ms < best.wall_ms) {
+      best.committed_instrs = result.committed_instrs;
+      best.cycles = result.cycles;
+      best.wall_ms = wall_ms;
+      best.stop = cpu::to_string(result.stop);
+    }
+  }
+  return best;
+}
+
+void write_json(const std::string& path, std::uint64_t instrs, int repeat,
+                const std::vector<CellResult>& results) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::uint64_t total_instrs = 0;
+  double total_ms = 0.0;
+  std::fprintf(f,
+               "{\n  \"instrs_per_cell\": %llu,\n  \"repeat\": %d,\n"
+               "  \"cells\": [\n",
+               static_cast<unsigned long long>(instrs), repeat);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CellResult& r = results[i];
+    total_instrs += r.committed_instrs;
+    total_ms += r.wall_ms;
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"policy\": \"%s\", \"preset\": \"%s\","
+        " \"committed_instrs\": %llu, \"cycles\": %llu,"
+        " \"wall_ms\": %.3f, \"mips\": %.2f, \"stop\": \"%s\"}%s\n",
+        r.cell.workload.c_str(), r.cell.policy.c_str(),
+        r.cell.preset.c_str(),
+        static_cast<unsigned long long>(r.committed_instrs),
+        static_cast<unsigned long long>(r.cycles), r.wall_ms, r.mips(),
+        r.stop, i + 1 < results.size() ? "," : "");
+  }
+  const double aggregate =
+      total_ms <= 0.0 ? 0.0 : static_cast<double>(total_instrs) /
+                                  (total_ms * 1e3);
+  std::fprintf(f,
+               "  ],\n  \"aggregate\": {\"total_instrs\": %llu,"
+               " \"total_wall_ms\": %.3f, \"mips\": %.2f}\n}\n",
+               static_cast<unsigned long long>(total_instrs), total_ms,
+               aggregate);
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace safespec;
+
+  std::uint64_t instrs = 200'000;
+  int repeat = 1;
+  std::string out_path = "BENCH_sim_throughput.json";
+  std::vector<Cell> cells = default_cells();
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const char* value = nullptr;
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage(argv[0], stdout);
+      return 0;
+    } else if (flag_value(arg, "--instrs", &value)) {
+      instrs = parse_u64_arg(value, "--instrs");
+    } else if (flag_value(arg, "--repeat", &value)) {
+      repeat = static_cast<int>(parse_u64_arg(value, "--repeat"));
+      if (repeat < 1 || repeat > 100) {
+        std::fprintf(stderr, "--repeat must be in [1, 100]\n");
+        return 2;
+      }
+    } else if (flag_value(arg, "--out", &value)) {
+      out_path = value;
+    } else if (flag_value(arg, "--cells", &value)) {
+      cells = parse_cells(value);
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg);
+      usage(argv[0], stderr);
+      return 2;
+    }
+  }
+
+  // Resolve every cell's names eagerly so a typo fails before any run.
+  try {
+    for (const Cell& cell : cells) {
+      workloads::profile_by_name(cell.workload);
+      policy::named_policy(cell.policy);
+      sim::machine_preset(cell.preset);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad cell: %s\n", e.what());
+    return 2;
+  }
+
+  std::vector<CellResult> results;
+  results.reserve(cells.size());
+  std::uint64_t total_instrs = 0;
+  double total_ms = 0.0;
+  for (const Cell& cell : cells) {
+    const CellResult r = run_cell(cell, instrs, repeat);
+    const bool full_budget = std::strcmp(r.stop, "max-instrs") == 0;
+    std::printf("perf: %-10s %-9s %-8s %9llu instrs %8llu Kcycles "
+                "%8.1f ms %7.2f MIPS%s%s\n",
+                cell.workload.c_str(), cell.policy.c_str(),
+                cell.preset.c_str(),
+                static_cast<unsigned long long>(r.committed_instrs),
+                static_cast<unsigned long long>(r.cycles / 1000),
+                r.wall_ms, r.mips(), full_budget ? "" : " stop=",
+                full_budget ? "" : r.stop);
+    total_instrs += r.committed_instrs;
+    total_ms += r.wall_ms;
+    results.push_back(r);
+  }
+
+  const double aggregate =
+      total_ms <= 0.0 ? 0.0 : static_cast<double>(total_instrs) /
+                                  (total_ms * 1e3);
+  std::printf("perf: aggregate %llu instrs in %.1f ms -> %.2f MIPS "
+              "(%zu cells, repeat=%d)\n",
+              static_cast<unsigned long long>(total_instrs), total_ms,
+              aggregate, results.size(), repeat);
+
+  if (out_path != "-") write_json(out_path, instrs, repeat, results);
+  return 0;
+}
