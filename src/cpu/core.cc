@@ -12,6 +12,12 @@ using memory::CacheHierarchy;
 using memory::Side;
 using shadow::FullPolicy;
 
+// One page walk acquires at most one shadow ref per radix level; only
+// kStall retry re-walks spill past the inline storage.
+static_assert(DynInst::WalkerRefs::kInline >=
+                  memory::PageTable::kWalkLevels,
+              "walker ref inline storage must cover one full walk");
+
 namespace {
 /// Maximum decoded-but-undispatched instructions buffered by the front
 /// end. Sized to cover the fetch-to-dispatch delay at full width.
@@ -416,12 +422,12 @@ void Core::promote_shadow(DynInst& di) {
     shadow_dcache_.release(di.shadow_dline);
     di.shadow_dline = DynInst::kNoShadow;
   }
-  for (int ref : di.walker_refs) {
+  di.walker_refs.for_each([this](int ref) {
     const Addr line = shadow_dcache_.key(ref);
     shadow_dcache_.mark_promoted(ref);
     hierarchy_.fill_all_levels(line, Side::kData);
     shadow_dcache_.release(ref);
-  }
+  });
   di.walker_refs.clear();
   if (di.shadow_iline != DynInst::kNoShadow) {
     const Addr line = shadow_icache_.key(di.shadow_iline);
@@ -476,7 +482,7 @@ void Core::release_shadow(DynInst& di) {
     shadow_dcache_.release(di.shadow_dline);
     di.shadow_dline = DynInst::kNoShadow;
   }
-  for (int ref : di.walker_refs) shadow_dcache_.release(ref);
+  di.walker_refs.for_each([this](int ref) { shadow_dcache_.release(ref); });
   di.walker_refs.clear();
   if (di.shadow_iline != DynInst::kNoShadow) {
     shadow_icache_.release(di.shadow_iline);
@@ -810,8 +816,8 @@ Cycle Core::access_dcache(DynInst& di, bool& stall) {
 // Dispatch.
 // --------------------------------------------------------------------------
 
-void Core::bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
-                        SeqNum& producer) {
+void Core::bind_operand(SeqNum consumer, RegIndex reg, std::uint64_t& value,
+                        bool& ready, SeqNum& producer) {
   const SeqNum prod = rename_[reg];
   if (prod == 0) {
     value = regs_[reg];
@@ -826,6 +832,9 @@ void Core::bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
   }
   ready = false;
   producer = prod;
+  // Register on the producer's wakeup list so completion wakes exactly
+  // its consumers instead of scanning the younger ROB suffix.
+  if (p != nullptr) p->note_dependent(consumer);
 }
 
 DynInst* Core::find_by_seq(SeqNum seq) {
@@ -838,7 +847,29 @@ DynInst* Core::find_by_seq(SeqNum seq) {
 }
 
 void Core::wake_dependents(const DynInst& producer) {
-  // Dependents are strictly younger: start one past the producer's slot.
+  // Common case: visit exactly the consumers that bound an operand to
+  // this producer at dispatch. A recorded seq can be stale (its consumer
+  // squashed and the seq reused after the rewind), so each entry is
+  // re-validated against the consumer's recorded producer — the same
+  // predicate the suffix scan applies, which makes a stale entry either
+  // inert or a genuine dependent that re-bound under the reused seq.
+  if (!producer.dep_overflow) {
+    for (int i = 0; i < producer.dep_count; ++i) {
+      DynInst* di = find_by_seq(producer.deps[i]);
+      if (di == nullptr) continue;
+      if (!di->src1_ready && di->src1_producer == producer.seq) {
+        di->src1_value = producer.result;
+        di->src1_ready = true;
+      }
+      if (!di->src2_ready && di->src2_producer == producer.seq) {
+        di->src2_value = producer.result;
+        di->src2_ready = true;
+      }
+    }
+    return;
+  }
+  // Overflow (more dependents than the inline list holds): walk the
+  // younger ROB suffix, starting one past the producer's slot.
   const SeqNum front_seq = rob_.front().seq;
   for (std::size_t i =
            static_cast<std::size_t>(producer.seq - front_seq) + 1;
@@ -898,11 +929,11 @@ void Core::stage_dispatch() {
         fi.inst.op == OpClass::kStore || fi.inst.op == OpClass::kBranch;
 
     if (reads_src1) {
-      bind_operand(fi.inst.src1, di.src1_value, di.src1_ready,
+      bind_operand(di.seq, fi.inst.src1, di.src1_value, di.src1_ready,
                    di.src1_producer);
     }
     if (reads_src2 || reads_src2_always) {
-      bind_operand(fi.inst.src2, di.src2_value, di.src2_ready,
+      bind_operand(di.seq, fi.inst.src2, di.src2_value, di.src2_ready,
                    di.src2_producer);
     }
 

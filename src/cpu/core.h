@@ -258,9 +258,10 @@ class Core {
   void raise_fault(DynInst& head);
   void commit_one(DynInst& head);
 
-  /// Reads an operand at dispatch: value or producer seq.
-  void bind_operand(RegIndex reg, std::uint64_t& value, bool& ready,
-                    SeqNum& producer);
+  /// Reads an operand at dispatch: value or producer seq. In-flight
+  /// producers additionally record `consumer` on their wakeup list.
+  void bind_operand(SeqNum consumer, RegIndex reg, std::uint64_t& value,
+                    bool& ready, SeqNum& producer);
 
   bool protection_on() const { return protection_on_; }
 

@@ -8,6 +8,7 @@
 // DynInst, whose position in the ROB plays both roles.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -75,9 +76,62 @@ struct DynInst {
   int shadow_itlb = kNoShadow;    ///< shadow iTLB entry
   /// Shadow d-cache entries for page-walker lines (the walker issues its
   /// accesses through the load/store path, §IV-A, so its side effects are
-  /// shadowed like any other speculative load).
-  std::vector<int> walker_refs;
+  /// shadowed like any other speculative load). One walk acquires at most
+  /// kInline (= PageTable::kWalkLevels) refs, so the common case is the
+  /// allocation-free inline array; only a kStall retry storm — which
+  /// re-walks and re-acquires the same lines every retry cycle — spills
+  /// into the overflow vector (empty vectors hold no heap storage).
+  struct WalkerRefs {
+    static constexpr int kInline = 4;
+    int inline_ids[kInline];
+    std::uint8_t inline_count = 0;
+    std::vector<int> overflow;
+
+    void push_back(int id) {
+      if (inline_count < kInline) {
+        inline_ids[inline_count++] = id;
+      } else {
+        overflow.push_back(id);
+      }
+    }
+    void clear() {
+      inline_count = 0;
+      overflow.clear();
+    }
+    bool empty() const { return inline_count == 0; }
+    std::size_t size() const { return inline_count + overflow.size(); }
+    /// Calls fn(id) for every held ref, in acquisition order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+      for (int i = 0; i < inline_count; ++i) fn(inline_ids[i]);
+      for (const int id : overflow) fn(id);
+    }
+  };
+  WalkerRefs walker_refs;
   bool shadow_promoted = false;   ///< WFB: promotion already performed
+
+  // ---- scheduler bookkeeping (wakeup lists) ----------------------------
+  /// Seqs of consumers that bound an operand to this instruction while it
+  /// was in flight. wake_dependents visits exactly these instead of
+  /// walking the younger ROB suffix. Entries can go stale after a
+  /// squash-rewind reuses seqs — wakeup re-validates against the
+  /// consumer's recorded producer, which makes stale entries inert. On
+  /// overflow the producer falls back to the full suffix scan.
+  static constexpr int kMaxDeps = 8;
+  SeqNum deps[kMaxDeps];
+  std::uint8_t dep_count = 0;
+  bool dep_overflow = false;
+
+  void note_dependent(SeqNum consumer) {
+    for (int i = 0; i < dep_count; ++i) {
+      if (deps[i] == consumer) return;  // re-bind of the other operand
+    }
+    if (dep_count < kMaxDeps) {
+      deps[dep_count++] = consumer;
+    } else {
+      dep_overflow = true;
+    }
+  }
 
   bool is_load() const { return inst.op == isa::OpClass::kLoad; }
   bool is_store() const { return inst.op == isa::OpClass::kStore; }

@@ -10,18 +10,18 @@ void Program::place(Addr pc, const Instruction& inst, bool overwrite) {
   if (pc % kInstrBytes != 0) {
     throw std::invalid_argument("Program::place: misaligned pc");
   }
-  if (!overwrite && text_.contains(pc)) {
+  if (!overwrite && contains(pc)) {
     throw std::invalid_argument("Program::place: pc already occupied");
   }
-  text_[pc] = inst;
+  text_[pc / kInstrBytes] = inst;
 }
-
-const Instruction* Program::at(Addr pc) const { return text_.find(pc); }
 
 std::vector<Addr> Program::pcs() const {
   std::vector<Addr> out;
   out.reserve(text_.size());
-  text_.for_each([&out](Addr pc, const Instruction&) { out.push_back(pc); });
+  text_.for_each([&out](Addr slot, const Instruction&) {
+    out.push_back(slot * kInstrBytes);
+  });
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -10,7 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "common/addr_map.h"
+#include "common/paged_addr_map.h"
 #include "common/types.h"
 #include "isa/instruction.h"
 
@@ -26,10 +26,14 @@ class Program {
 
   /// Fetch lookup; nullptr when no instruction exists at `pc` (the core
   /// treats that as a halt with an error flag so runaway speculation on
-  /// garbage targets terminates cleanly).
-  const Instruction* at(Addr pc) const;
+  /// garbage targets terminates cleanly). Misaligned pcs — reachable only
+  /// through speculated indirect targets — are never occupied.
+  const Instruction* at(Addr pc) const {
+    if (pc % kInstrBytes != 0) return nullptr;
+    return text_.find(pc / kInstrBytes);
+  }
 
-  bool contains(Addr pc) const { return text_.contains(pc); }
+  bool contains(Addr pc) const { return at(pc) != nullptr; }
   std::size_t size() const { return text_.size(); }
 
   Addr entry() const { return entry_; }
@@ -44,7 +48,9 @@ class Program {
   std::vector<Addr> pcs() const;
 
  private:
-  AddrMap<Instruction> text_;  ///< fetch looks this up every instruction
+  /// Fetch looks this up every instruction. Keyed by pc / kInstrBytes so
+  /// consecutive instructions pack densely into the backing pages.
+  PagedAddrMap<Instruction> text_;
   Addr entry_ = 0;
   std::optional<Addr> fault_handler_;
 };

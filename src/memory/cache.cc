@@ -32,15 +32,14 @@ int Cache::find_way(int set, Addr line) const {
 }
 
 bool Cache::access(Addr line, bool update_replacement, bool count_stats) {
-  ++tick_;
   const int set = set_of(line);
   const int way = find_way(set, line);
   if (way >= 0) {
-    if (update_replacement) repl_[set].touch(way, tick_);
-    if (count_stats) stats_.hits.add();
+    if (update_replacement) repl_[set].touch(way, ++tick_);
+    if (count_stats) ++pending_hits_;
     return true;
   }
-  if (count_stats) stats_.misses.add();
+  if (count_stats) ++pending_misses_;
   return false;
 }
 

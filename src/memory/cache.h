@@ -69,8 +69,14 @@ class Cache {
   void flush_all();
 
   const CacheConfig& config() const { return config_; }
-  HitMiss& stats() { return stats_; }
-  const HitMiss& stats() const { return stats_; }
+  HitMiss& stats() {
+    flush_stats();
+    return stats_;
+  }
+  const HitMiss& stats() const {
+    flush_stats();
+    return stats_;
+  }
 
   /// Number of valid lines currently resident (tests / occupancy checks).
   std::size_t occupancy() const;
@@ -89,12 +95,32 @@ class Cache {
 
   int find_way(int set, Addr line) const;
 
+  /// Folds the batched access tallies into the named counters. Like the
+  /// occupancy histogram's run-length batching, the pending counts are an
+  /// encoding detail every reader flushes first — the observable
+  /// statistics are bit-identical to per-access Counter bumps.
+  void flush_stats() const {
+    if (pending_hits_ != 0) {
+      stats_.hits.add(pending_hits_);
+      pending_hits_ = 0;
+    }
+    if (pending_misses_ != 0) {
+      stats_.misses.add(pending_misses_);
+      pending_misses_ = 0;
+    }
+  }
+
   CacheConfig config_;
   int num_sets_;
   std::vector<Way> ways_;                       // num_sets_ * config_.ways
   std::vector<ReplacementState> repl_;          // one per set
+  /// Replacement stamp clock: advanced only when a stamp is written
+  /// (touch/fill). LRU/FIFO compare stamp order, not values, so skipping
+  /// the bump on non-stamping accesses changes no eviction decision.
   std::uint64_t tick_ = 0;
-  HitMiss stats_;
+  mutable HitMiss stats_;
+  mutable std::uint64_t pending_hits_ = 0;
+  mutable std::uint64_t pending_misses_ = 0;
 };
 
 }  // namespace safespec::memory

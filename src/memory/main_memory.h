@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "common/addr_map.h"
+#include "common/paged_addr_map.h"
 #include "common/types.h"
 
 namespace safespec::memory {
@@ -67,8 +67,10 @@ class MainMemory {
  private:
   static Addr word_of(Addr addr) { return addr >> 3; }
 
-  AddrMap<std::uint64_t> words_;   // keyed by word index
-  AddrMap<PagePerm> perms_;        // keyed by page number
+  // Paged backing arrays: workload data and page maps are dense, so the
+  // per-load/store lookup is a direct index in the common case.
+  PagedAddrMap<std::uint64_t> words_;   // keyed by word index
+  PagedAddrMap<PagePerm> perms_;        // keyed by page number
 };
 
 }  // namespace safespec::memory

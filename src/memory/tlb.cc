@@ -28,15 +28,14 @@ int Tlb::find_way(int set, Addr vpage) const {
 }
 
 std::optional<TlbEntry> Tlb::access(Addr vpage) {
-  ++tick_;
   const int set = set_of(vpage);
   const int way = find_way(set, vpage);
   if (way >= 0) {
-    repl_[set].touch(way, tick_);
-    stats_.hits.add();
+    repl_[set].touch(way, ++tick_);
+    ++pending_hits_;
     return ways_[static_cast<std::size_t>(set) * config_.ways + way].entry;
   }
-  stats_.misses.add();
+  ++pending_misses_;
   return std::nullopt;
 }
 

@@ -2,6 +2,8 @@
 // counters, histograms/percentiles, and the geometric mean.
 #include <gtest/gtest.h>
 
+#include "common/addr_map.h"
+#include "common/paged_addr_map.h"
 #include "common/rng.h"
 #include "common/stats.h"
 
@@ -253,6 +255,92 @@ TEST(GeoMeanTest, BetweenMinAndMax) {
   const double g = geometric_mean(vs);
   EXPECT_GE(g, *std::min_element(vs.begin(), vs.end()));
   EXPECT_LE(g, *std::max_element(vs.begin(), vs.end()));
+}
+
+TEST(PagedAddrMapTest, InsertLookupDense) {
+  PagedAddrMap<std::uint64_t> m;
+  for (Addr k = 0; k < 10000; ++k) m[k] = k * 3;
+  EXPECT_EQ(m.size(), 10000u);
+  for (Addr k = 0; k < 10000; ++k) {
+    const std::uint64_t* v = m.find(k);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k * 3);
+  }
+  EXPECT_EQ(m.find(10000), nullptr);
+  EXPECT_FALSE(m.contains(1u << 30));
+}
+
+TEST(PagedAddrMapTest, HugeKeysFallBackToOverflow) {
+  // Keys past the directory's reach must round-trip through the hash
+  // overflow, and coexist with direct-range keys.
+  PagedAddrMap<std::uint64_t> m;
+  const Addr huge = Addr{1} << 45;
+  m[huge] = 42;
+  m[huge + 1] = 43;
+  m[7] = 1;
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(huge), nullptr);
+  EXPECT_EQ(*m.find(huge), 42u);
+  EXPECT_EQ(*m.find(huge + 1), 43u);
+  EXPECT_EQ(m.find(huge + 2), nullptr);
+  EXPECT_EQ(*m.find(7), 1u);
+}
+
+TEST(PagedAddrMapProperty, MatchesAddrMapOnRandomStreams) {
+  // Differential check against the flat hash map across a mix of dense,
+  // page-straddling, and overflow-range keys.
+  Rng rng(2026);
+  PagedAddrMap<std::uint64_t> paged;
+  AddrMap<std::uint64_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    Addr key;
+    switch (rng.below(3)) {
+      case 0: key = rng.below(1 << 14); break;            // dense
+      case 1: key = rng.below(1u << 31); break;           // sparse direct
+      default: key = (Addr{1} << 40) + rng.below(1000); break;  // overflow
+    }
+    const std::uint64_t value = rng.next();
+    paged[key] = value;
+    reference[key] = value;
+  }
+  EXPECT_EQ(paged.size(), reference.size());
+  reference.for_each([&paged](Addr k, std::uint64_t v) {
+    const std::uint64_t* got = paged.find(k);
+    ASSERT_NE(got, nullptr) << k;
+    EXPECT_EQ(*got, v) << k;
+  });
+  std::uint64_t seen = 0;
+  paged.for_each([&](Addr k, std::uint64_t v) {
+    ++seen;
+    const std::uint64_t* ref = reference.find(k);
+    ASSERT_NE(ref, nullptr) << k;
+    EXPECT_EQ(*ref, v) << k;
+  });
+  EXPECT_EQ(seen, reference.size());
+}
+
+TEST(PagedAddrMapTest, DeepCopyIsIndependent) {
+  PagedAddrMap<int> a;
+  a[5] = 50;
+  a[Addr{1} << 50] = 51;
+  PagedAddrMap<int> b = a;
+  b[5] = 99;
+  b[6] = 60;
+  EXPECT_EQ(*a.find(5), 50);
+  EXPECT_EQ(a.find(6), nullptr);
+  EXPECT_EQ(*b.find(5), 99);
+  EXPECT_EQ(*b.find(Addr{1} << 50), 51);
+}
+
+TEST(PagedAddrMapTest, ClearDropsEverything) {
+  PagedAddrMap<int> m;
+  m[1] = 1;
+  m[Addr{1} << 40] = 2;
+  EXPECT_EQ(m.size(), 2u);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.find(Addr{1} << 40), nullptr);
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 // corner cases that the end-to-end attack tests exercise only indirectly.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "isa/program.h"
+#include "safespec/policy.h"
 #include "sim/sim_config.h"
 #include "sim/simulator.h"
 
@@ -294,6 +298,137 @@ TEST(Flush, CommittedClflushEvictsEveryLevel) {
                                                 memory::Side::kData));
   EXPECT_FALSE(s.core().hierarchy().resident_l2(line_of(kData)));
   EXPECT_FALSE(s.core().hierarchy().resident_l3(line_of(kData)));
+}
+
+// ---- commit_xor forwarding semantics --------------------------------------
+// The commit_xor mutation hook XORs a constant into every *architectural*
+// register writeback — and nothing else. In-flight consumers (operand
+// capture at dispatch, wakeup after completion, branch resolution, store
+// data) must observe the producer's raw pre-XOR result; only a consumer
+// that reads the committed register file sees the XORed value. These
+// tests pin that contract across every registered policy so the scheduler
+// can be restructured without silently changing forwarding semantics.
+
+/// Runs `program` under `policy_name` with commit_xor armed; returns the
+/// simulator after the run for register/memory inspection.
+std::unique_ptr<sim::Simulator> run_with_commit_xor(
+    const isa::Program& program, const std::string& policy_name,
+    std::uint64_t commit_xor) {
+  cpu::CoreConfig config = sim::skylake_config();
+  config.policy = policy_name;
+  config.mutation.commit_xor = commit_xor;
+  auto s = std::make_unique<sim::Simulator>(config, program);
+  s->map_text();
+  return s;
+}
+
+constexpr std::uint64_t kXor = 0x5A5AF00D0000FFFFULL;
+
+TEST(CommitXorForwarding, TightAluChainForwardsPreXorResults) {
+  // Adjacent dependent ALU ops dispatch together, so every consumer binds
+  // its operand from the in-flight producer: the chain computes on raw
+  // results (7, 8, 9) and each commit XORs exactly once.
+  ProgramBuilder b(0x1000);
+  b.movi(1, 7);
+  b.alui(AluOp::kAdd, 2, 1, 1);
+  b.alui(AluOp::kAdd, 3, 2, 1);
+  b.halt();
+  auto prog = b.build();
+  prog.set_entry(0x1000);
+  for (const auto& policy : policy::registered_policy_names()) {
+    auto s = run_with_commit_xor(prog, policy, kXor);
+    ASSERT_EQ(s->run().stop, cpu::StopReason::kHalted) << policy;
+    EXPECT_EQ(s->core().reg(1), 7u ^ kXor) << policy;
+    EXPECT_EQ(s->core().reg(2), 8u ^ kXor) << policy;
+    EXPECT_EQ(s->core().reg(3), 9u ^ kXor) << policy;
+  }
+}
+
+TEST(CommitXorForwarding, LoadWakeupForwardsPreXorResult) {
+  // The wakeup path proper: a cold load completes long after its
+  // dependents dispatched, so they sit in the issue queue and are woken
+  // by the completing producer — with the raw loaded value, not the
+  // XORed one the register file will hold.
+  constexpr Addr kData = 0x7D0000;
+  ProgramBuilder b(0x1000);
+  b.movi(1, kData);
+  b.load(2, 1, 0);               // cold miss: wakes r3/r4 much later
+  b.alui(AluOp::kAdd, 3, 2, 1);
+  b.alu(AluOp::kAdd, 4, 2, 2);   // both operands from the same producer
+  b.halt();
+  auto prog = b.build();
+  prog.set_entry(0x1000);
+  for (const auto& policy : policy::registered_policy_names()) {
+    auto s = run_with_commit_xor(prog, policy, kXor);
+    s->map_region(kData, kPageSize);
+    s->poke(kData, 0x1000u);
+    ASSERT_EQ(s->run().stop, cpu::StopReason::kHalted) << policy;
+    EXPECT_EQ(s->core().reg(2), 0x1000u ^ kXor) << policy;
+    EXPECT_EQ(s->core().reg(3), 0x1001u ^ kXor) << policy;
+    EXPECT_EQ(s->core().reg(4), 0x2000u ^ kXor) << policy;
+  }
+}
+
+TEST(CommitXorForwarding, BranchResolvesOnPreXorOperands) {
+  // r1's raw result is kXor (nonzero) while its committed value is 0;
+  // the branch must resolve on the raw value and be taken.
+  ProgramBuilder b(0x1000);
+  b.movi(1, static_cast<std::int64_t>(kXor));
+  b.branch(CondOp::kNe, 1, kZeroReg, "taken");
+  b.movi(2, 111);  // fall-through: only reached on post-XOR operands
+  b.halt();
+  b.label("taken").movi(3, 222).halt();
+  auto prog = b.build();
+  prog.set_entry(0x1000);
+  for (const auto& policy : policy::registered_policy_names()) {
+    auto s = run_with_commit_xor(prog, policy, kXor);
+    ASSERT_EQ(s->run().stop, cpu::StopReason::kHalted) << policy;
+    EXPECT_EQ(s->core().reg(1), 0u) << policy;
+    EXPECT_EQ(s->core().reg(2), 0u) << policy;
+    EXPECT_EQ(s->core().reg(3), 222u ^ kXor) << policy;
+  }
+}
+
+TEST(CommitXorForwarding, StoreDataAndStoreForwardingUsePreXorValues) {
+  // Store data binds from the in-flight producer (pre-XOR), the store
+  // writes that raw value to memory at commit (memory is never XORed),
+  // and a younger load forwarded from the store queue sees it too.
+  constexpr Addr kData = 0x7E0000;
+  ProgramBuilder b(0x1000);
+  b.movi(1, kData);
+  b.movi(2, 0x77);
+  b.store(2, 1, 0);
+  b.load(3, 1, 0);  // forwarded from the in-flight store
+  b.halt();
+  auto prog = b.build();
+  prog.set_entry(0x1000);
+  for (const auto& policy : policy::registered_policy_names()) {
+    auto s = run_with_commit_xor(prog, policy, kXor);
+    s->map_region(kData, kPageSize);
+    ASSERT_EQ(s->run().stop, cpu::StopReason::kHalted) << policy;
+    EXPECT_EQ(s->peek(kData), 0x77u) << policy;
+    EXPECT_EQ(s->core().reg(3), 0x77u ^ kXor) << policy;
+  }
+}
+
+TEST(CommitXorForwarding, PostCommitConsumersReadXoredRegisterFile) {
+  // A fence drains the pipeline, so the consumer dispatches after the
+  // producer committed and its rename entry cleared: it reads the
+  // architectural (post-XOR) value — the one place the XOR is visible to
+  // a dependent.
+  ProgramBuilder b(0x1000);
+  b.movi(1, 7);
+  b.fence();
+  b.alui(AluOp::kAdd, 2, 1, 1);
+  b.halt();
+  auto prog = b.build();
+  prog.set_entry(0x1000);
+  for (const auto& policy : policy::registered_policy_names()) {
+    auto s = run_with_commit_xor(prog, policy, kXor);
+    ASSERT_EQ(s->run().stop, cpu::StopReason::kHalted) << policy;
+    EXPECT_EQ(s->core().reg(1), 7u ^ kXor) << policy;
+    EXPECT_EQ(s->core().reg(2), ((7u ^ kXor) + 1u) ^ kXor) << policy;
+  }
 }
 
 TEST(Restart, PreservesMicroarchitecturalState) {
