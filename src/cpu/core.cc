@@ -1163,4 +1163,18 @@ void Core::restart_at(Addr pc) {
   halted_ = false;
 }
 
+Addr Core::next_commit_pc() const {
+  if (!rob_.empty()) return rob_.front().pc;
+  if (!fetch_queue_.empty()) return fetch_queue_.front().pc;
+  return fetch_pc_;
+}
+
+void Core::restore_arch(const std::array<std::uint64_t, kNumArchRegs>& regs,
+                        Addr pc) {
+  for (int r = 0; r < kNumArchRegs; ++r) {
+    set_reg(static_cast<RegIndex>(r), regs[static_cast<std::size_t>(r)]);
+  }
+  restart_at(pc);
+}
+
 }  // namespace safespec::cpu

@@ -24,6 +24,7 @@
 //     the paper's conservative assumption.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -195,6 +196,23 @@ class Core {
   /// phases). Microarchitectural state (caches, predictors, shadows) is
   /// deliberately preserved — that persistence is what attacks exploit.
   void restart_at(Addr pc);
+
+  /// The next architecturally-correct pc: the oldest in-flight
+  /// instruction's pc (in-order commit means everything older has
+  /// committed, so the ROB head is always on the committed path), the
+  /// oldest fetched-but-undispatched instruction's pc when the ROB is
+  /// empty, or the fetch pc when the whole pipeline is. At a kMaxInstrs
+  /// stop, (reg state, next_commit_pc) is therefore exactly the
+  /// committed architectural state — the hand-off point sampled
+  /// simulation resumes the functional engine from.
+  Addr next_commit_pc() const;
+
+  /// Checkpoint restore (sampled simulation): installs the committed
+  /// register file and restarts control flow at `pc`. Equivalent to 32x
+  /// set_reg + restart_at — microarchitectural warming state survives,
+  /// exactly like a phase restart.
+  void restore_arch(const std::array<std::uint64_t, kNumArchRegs>& regs,
+                    Addr pc);
 
  private:
   struct FetchedInst {

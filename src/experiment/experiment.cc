@@ -91,6 +91,7 @@ std::vector<Cell> ExperimentSpec::expand() const {
       cell.profile = profiles_[p];
       cell.config = variants_[v].config;
       cell.instrs = instrs_;
+      cell.sampling = base_.sampling;
       cells.push_back(std::move(cell));
     }
   }
@@ -100,7 +101,8 @@ std::vector<Cell> ExperimentSpec::expand() const {
 // ---- runner -----------------------------------------------------------------
 
 sim::SimResult run_cell(const Cell& cell) {
-  return workloads::run_workload(cell.profile, cell.config, cell.instrs);
+  return workloads::run_workload(cell.profile, cell.config, cell.instrs,
+                                 cell.sampling);
 }
 
 ParallelRunner::ParallelRunner(int threads) : threads_(threads) {

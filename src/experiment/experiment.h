@@ -62,6 +62,10 @@ struct Cell {
   workloads::WorkloadProfile profile;
   cpu::CoreConfig config;
   std::uint64_t instrs = kInstrsPerRun;
+  /// Sampled-simulation schedule, copied from the spec's base machine
+  /// (disabled by default — cells then run fully detailed, bit-identical
+  /// to the pre-sampling engine).
+  sim::SamplingSpec sampling;
 };
 
 /// Declarative sweep grid: profiles x variants. Expansion is

@@ -6,10 +6,10 @@
 
 #include "experiment/experiment.h"
 #include "fuzz/generator.h"
-#include "fuzz/oracle.h"
 #include "memory/main_memory.h"
 #include "memory/page_table.h"
 #include "safespec/policy.h"
+#include "sim/functional.h"
 #include "sim/machine.h"
 #include "sim/simulator.h"
 
@@ -71,7 +71,9 @@ ArchState oracle_state(const FuzzProgram& fp) {
   memory::PageTable pt;
   apply_address_space(fp, mem, pt);
 
-  OracleInterpreter oracle(&fp.program, &mem, &pt);
+  // The reference state comes straight from the promoted functional
+  // engine (the optimized form of the old in-order oracle).
+  sim::FunctionalEngine oracle(&fp.program, &mem, &pt);
   ArchState state;
   state.stop = oracle.run(fp.max_instrs_hint);
   state.committed = oracle.committed();

@@ -1,26 +1,19 @@
-// In-order architectural reference interpreter.
+// In-order architectural reference interpreter (compatibility wrapper).
 //
-// Executes a micro-ISA program with *no* microarchitecture at all — no
-// pipeline, no caches, no predictor, no speculation — producing the
-// reference final architectural state (registers + memory image) the
-// out-of-order core must match regardless of protection policy. This is
-// the ground truth of the differential harness: SafeSpec's whole claim
-// is that shadow structures change *when* microarchitectural state
-// becomes visible without ever changing *what* the program computes.
+// The interpreter that used to live here was promoted into the
+// first-class, optimized sim::FunctionalEngine (src/sim/functional.h) —
+// predecoded text, translation cache, allocation-free step loop — so the
+// differential harness's reference state and the sampled-simulation
+// fast-forward path are one and the same engine. OracleInterpreter
+// remains as a thin alias so harness code and tests keep reading as
+// "the oracle"; it adds nothing beyond the engine.
 //
-// Semantics mirror cpu::Core's committed behaviour exactly:
-//   * permission faults bite at the faulting instruction's commit point:
-//     it performs no architectural write, the fault counter bumps, and
-//     control transfers to the program's fault handler (or the run ends
-//     with kFaultNoHandler);
-//   * committed control flow reaching a pc with no instruction ends the
-//     run with kFaultNoHandler (the core's wedge/stall detection);
-//   * division by zero yields all-ones; the zero register never writes.
-//
-// The one deliberate divergence: kRdCycle has no cycle to read here, so
-// it returns the number of instructions committed so far. Programs
-// containing kRdCycle are therefore *not* differential-fuzzable (its
-// value is timing-dependent by design) and the generator never emits it.
+// Semantics (now documented on FunctionalEngine, unchanged): no
+// microarchitecture at all, faults bite at commit and redirect to the
+// program's fault handler (or end the run with kFaultNoHandler),
+// committed control flow reaching an empty pc ends the run, division by
+// zero yields all-ones, the zero register never writes, and kRdCycle
+// deliberately diverges by reading the committed-instruction count.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +23,7 @@
 #include "isa/program.h"
 #include "memory/main_memory.h"
 #include "memory/page_table.h"
+#include "sim/functional.h"
 
 namespace safespec::fuzz {
 
@@ -37,42 +31,31 @@ class OracleInterpreter {
  public:
   /// Borrows everything; `mem` is mutated by stores.
   OracleInterpreter(const isa::Program* program, memory::MainMemory* mem,
-                    const memory::PageTable* page_table);
+                    const memory::PageTable* page_table)
+      : engine_(program, mem, page_table) {}
 
   /// Runs from the program entry until halt, unrecoverable fault, or the
   /// instruction budget. Resumable: a second call continues where the
   /// first stopped (after kMaxInstrs).
-  cpu::StopReason run(std::uint64_t max_instrs);
-
-  std::uint64_t reg(RegIndex r) const { return regs_[r]; }
-  void set_reg(RegIndex r, std::uint64_t v) {
-    if (r != kZeroReg) regs_[r] = v;
+  cpu::StopReason run(std::uint64_t max_instrs) {
+    return engine_.run(max_instrs);
   }
+
+  std::uint64_t reg(RegIndex r) const { return engine_.reg(r); }
+  void set_reg(RegIndex r, std::uint64_t v) { engine_.set_reg(r, v); }
 
   /// Committed instruction count (faulting instructions never commit,
   /// matching CoreStats::committed_instrs).
-  std::uint64_t committed() const { return committed_; }
+  std::uint64_t committed() const { return engine_.committed(); }
   /// Architecturally raised faults (matching CoreStats::faults).
-  std::uint64_t faults() const { return faults_; }
-  Addr pc() const { return pc_; }
+  std::uint64_t faults() const { return engine_.faults(); }
+  Addr pc() const { return engine_.pc(); }
+
+  /// The promoted engine itself, for callers needing checkpoints.
+  sim::FunctionalEngine& engine() { return engine_; }
 
  private:
-  /// Translates a data address; returns false and sets `fault` when the
-  /// access must fault (unmapped page, or kernel page at user level).
-  bool translate(Addr vaddr, Addr& paddr, cpu::Fault& fault) const;
-
-  /// Fault dispatch: redirect to the handler, or end the run.
-  bool handle_fault();
-
-  const isa::Program* program_;
-  memory::MainMemory* mem_;
-  const memory::PageTable* page_table_;
-
-  std::uint64_t regs_[kNumArchRegs] = {};
-  Addr pc_ = 0;
-  std::uint64_t committed_ = 0;
-  std::uint64_t faults_ = 0;
-  bool started_ = false;
+  sim::FunctionalEngine engine_;
 };
 
 }  // namespace safespec::fuzz

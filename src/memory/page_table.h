@@ -15,7 +15,7 @@
 #include <optional>
 #include <vector>
 
-#include "common/addr_map.h"
+#include "common/paged_addr_map.h"
 #include "common/types.h"
 #include "memory/main_memory.h"
 
@@ -59,7 +59,11 @@ class PageTable {
   std::size_t mapped_pages() const { return table_.size(); }
 
  private:
-  AddrMap<Translation> table_;
+  // PagedAddrMap, not the hash-based AddrMap: translate() sits on the
+  // TLB-miss path of both the detailed walker and the functional engine,
+  // and vpages are small dense keys — the direct page directory turns
+  // each lookup into two array indexings.
+  PagedAddrMap<Translation> table_;
 };
 
 }  // namespace safespec::memory

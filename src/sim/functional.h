@@ -1,0 +1,195 @@
+// Fast functional (architecture-only) execution engine.
+//
+// The promoted form of the fuzz harness's in-order oracle
+// (src/fuzz/oracle.h wraps this class): one instruction per step, no
+// microarchitecture, producing exactly the committed architectural state
+// the out-of-order core produces. Promotion earned it the hot-path
+// treatment the detailed core got in PRs 4-5:
+//
+//   * the program text is predecoded into a dense slot table indexed by
+//     (pc - base) / kInstrBytes, so the per-instruction fetch is a
+//     bounds check + load instead of a PagedAddrMap probe;
+//   * data translations go through a small direct-mapped cache in front
+//     of PageTable::translate, so the per-access cost is one tag
+//     compare in the (overwhelmingly common) re-touched-page case;
+//   * the step loop allocates nothing.
+//
+// Two consumers: the differential fuzzer's reference state (nightly 10k
+// seeds), and sampled simulation (Simulator::run_sampled) where this
+// engine fast-forwards between detailed sample windows and hands the
+// architectural state across via ArchCheckpoint.
+//
+// Semantics are the oracle's, bit for bit (see oracle.h for the
+// rationale): faults bite at the faulting instruction's commit point and
+// redirect to the program's fault handler (or end the run with
+// kFaultNoHandler); committed control flow reaching a pc with no
+// instruction ends the run; division by zero yields all-ones; the zero
+// register never writes; execution is always user-level. The one
+// deliberate divergence stands: kRdCycle reads the committed-instruction
+// count, as no cycle exists here.
+//
+// The engine caches translations: if the page table is remapped between
+// runs (attack-harness style), call invalidate_translations().
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/addr_map.h"
+#include "common/types.h"
+#include "cpu/core.h"
+#include "isa/program.h"
+#include "memory/main_memory.h"
+#include "memory/page_table.h"
+
+namespace safespec::sim {
+
+/// Committed architectural state at a sample-window boundary, as emitted
+/// by FunctionalEngine::checkpoint() and consumed by
+/// Simulator::restore() / FunctionalEngine::restore().
+///
+/// Memory is carried as a *delta*: the words written since the previous
+/// checkpoint (recorded only while record_memory_delta(true) is active —
+/// the shared-memory fast path leaves it empty because both engines
+/// mutate the same MainMemory). Microarchitectural warming state
+/// (caches, TLBs, predictors, shadows) is deliberately not captured: in
+/// sampled simulation it lives in the persistent detailed Core across
+/// windows, and each window's warmup interval re-warms whatever the
+/// fast-forwarded gap staled.
+struct ArchCheckpoint {
+  std::array<std::uint64_t, kNumArchRegs> regs{};
+  Addr pc = 0;                  ///< next instruction to execute
+  std::uint64_t committed = 0;  ///< instructions committed so far
+  std::uint64_t faults = 0;     ///< architectural faults raised so far
+  bool started = false;         ///< false = pristine (pc not yet valid)
+
+  /// One recorded memory word: enough to apply the delta forward onto a
+  /// cold memory image (new_value) or roll it back (old_value).
+  struct MemWrite {
+    Addr addr = 0;  ///< byte address of the 64-bit word
+    std::uint64_t old_value = 0;
+    std::uint64_t new_value = 0;
+  };
+  /// First-write-per-word since the previous checkpoint, in write order.
+  std::vector<MemWrite> mem_delta;
+};
+
+class FunctionalEngine {
+ public:
+  /// Borrows everything; `mem` is mutated by stores.
+  FunctionalEngine(const isa::Program* program, memory::MainMemory* mem,
+                   const memory::PageTable* page_table);
+
+  /// Runs from the program entry (or wherever the previous run/restore
+  /// left off) until halt, unrecoverable fault, or `max_instrs` further
+  /// committed instructions. Resumable, like Core::run.
+  cpu::StopReason run(std::uint64_t max_instrs);
+
+  std::uint64_t reg(RegIndex r) const { return regs_[r]; }
+  void set_reg(RegIndex r, std::uint64_t v) {
+    if (r != kZeroReg) regs_[r] = v;
+  }
+
+  /// Committed instruction count (faulting instructions never commit,
+  /// matching CoreStats::committed_instrs).
+  std::uint64_t committed() const { return committed_; }
+  /// Architecturally raised faults (matching CoreStats::faults).
+  std::uint64_t faults() const { return faults_; }
+  Addr pc() const { return pc_; }
+
+  // ---- checkpoints ------------------------------------------------------
+  /// Snapshots the architectural state. When delta recording is on, the
+  /// checkpoint carries every word written since the previous
+  /// checkpoint() (or since recording started) and a new delta epoch
+  /// begins.
+  ArchCheckpoint checkpoint();
+
+  /// Restores registers, pc and counters from `cp` (memory is not
+  /// touched — apply cp.mem_delta to the target memory separately, or
+  /// use Simulator::restore which does both). Starts a new delta epoch.
+  void restore(const ArchCheckpoint& cp);
+
+  /// Enables/disables memory-delta recording (default off: the sampled
+  /// fast path shares one MainMemory with the detailed core and needs no
+  /// delta). Turning it on starts a fresh epoch.
+  void record_memory_delta(bool on);
+
+  /// Rolls back every memory word written in the current epoch to its
+  /// value at the last checkpoint()/restore()/record start, and clears
+  /// the epoch. Requires recording to be on; registers/pc are untouched
+  /// (pair with restore()).
+  void rollback_memory();
+
+  /// Drops cached translations. Call after remapping the page table
+  /// between runs.
+  void invalidate_translations();
+
+ private:
+  /// Predecoded instruction slot. `present` distinguishes real
+  /// instructions from holes in the dense table.
+  struct Slot {
+    isa::Instruction inst;
+    bool present = false;
+  };
+
+  /// Dense-table fetch when the program's text span fits, PagedAddrMap
+  /// fallback otherwise. Returns nullptr on a hole / out-of-range /
+  /// misaligned pc — the kFaultNoHandler path.
+  const isa::Instruction* fetch(Addr pc) const {
+    const Addr offset = pc - text_base_;
+    if (offset % isa::kInstrBytes == 0) {
+      const Addr slot = offset / isa::kInstrBytes;
+      if (slot < text_.size()) {
+        const Slot& s = text_[slot];
+        return s.present ? &s.inst : nullptr;
+      }
+    }
+    if (dense_covers_all_) return nullptr;
+    return program_->at(pc);
+  }
+
+  /// Translates a data address through the translation cache; returns
+  /// false when the access must fault (unmapped, or kernel-only at the
+  /// engine's fixed user level).
+  bool translate(Addr vaddr, Addr& paddr);
+
+  /// Fault dispatch: redirect to the handler, or end the run.
+  bool handle_fault();
+
+  /// Records the word containing `addr` into the current delta epoch
+  /// (first write per word only). Called before the store mutates it.
+  void log_word(Addr addr);
+
+  void predecode();
+
+  const isa::Program* program_;
+  memory::MainMemory* mem_;
+  const memory::PageTable* page_table_;
+
+  // Predecoded text. `dense_covers_all_` means every instruction of the
+  // program landed in text_, so a miss is authoritative.
+  std::vector<Slot> text_;
+  Addr text_base_ = 0;
+  bool dense_covers_all_ = false;
+
+  // Direct-mapped translation cache: tag = vpage + 1 (0 = empty), value
+  // = ppage. Only successful user-level translations are cached, so the
+  // hit path needs no permission re-check.
+  static constexpr std::size_t kXlatEntries = 256;  // power of two
+  std::array<Addr, kXlatEntries> xlat_tag_{};
+  std::array<Addr, kXlatEntries> xlat_ppage_{};
+
+  std::uint64_t regs_[kNumArchRegs] = {};
+  Addr pc_ = 0;
+  std::uint64_t committed_ = 0;
+  std::uint64_t faults_ = 0;
+  bool started_ = false;
+
+  // Memory-delta epoch (off by default; see record_memory_delta).
+  bool record_delta_ = false;
+  std::vector<ArchCheckpoint::MemWrite> delta_;  ///< old_value filled
+  AddrMap<char> delta_seen_;                     ///< word addr -> logged
+};
+
+}  // namespace safespec::sim

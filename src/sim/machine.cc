@@ -253,6 +253,8 @@ void MachineSpec::validate() const {
     }
   }
 
+  sampling.validate();
+
   std::vector<MemRegion> sorted = regions;
   std::sort(sorted.begin(), sorted.end(),
             [](const MemRegion& a, const MemRegion& b) {
@@ -367,6 +369,12 @@ std::string MachineSpec::to_json() const {
   w.field("rsb_depth", c.predictor.rsb_depth);
   w.close();
 
+  w.open("sampling");
+  w.field("fast_forward_interval", sampling.fast_forward_interval);
+  w.field("warmup_instrs", sampling.warmup_instrs);
+  w.field("detail_instrs", sampling.detail_instrs);
+  w.close();
+
   w.open_array("memory_map");
   for (const MemRegion& region : regions) {
     w.open();
@@ -458,6 +466,13 @@ MachineSpec MachineSpec::from_json(const std::string& text) {
     read_int(*pred, "btb_entries", c.predictor.btb.entries);
     read_int(*pred, "btb_ways", c.predictor.btb.ways);
     read_int(*pred, "rsb_depth", c.predictor.rsb_depth);
+  }
+
+  if (const Json* sampling = doc.find("sampling")) {
+    read_u64(*sampling, "fast_forward_interval",
+             spec.sampling.fast_forward_interval);
+    read_u64(*sampling, "warmup_instrs", spec.sampling.warmup_instrs);
+    read_u64(*sampling, "detail_instrs", spec.sampling.detail_instrs);
   }
 
   if (const Json* map = doc.find("memory_map")) {
@@ -632,6 +647,19 @@ void MachineSpec::set(const std::string& key, const std::string& value) {
     return;
   }
 
+  if (key == "sampling.fast_forward_interval") {
+    sampling.fast_forward_interval = u64();
+    return;
+  }
+  if (key == "sampling.warmup_instrs") {
+    sampling.warmup_instrs = u64();
+    return;
+  }
+  if (key == "sampling.detail_instrs") {
+    sampling.detail_instrs = u64();
+    return;
+  }
+
   if (key == "predictor.direction") {
     c.predictor.direction.kind = parse_direction_kind(value);
     return;
@@ -748,6 +776,7 @@ MachineBuilder& MachineBuilder::configure(
 std::unique_ptr<Simulator> MachineBuilder::build(isa::Program program) const {
   spec_.validate();
   auto sim = std::make_unique<Simulator>(spec_.core, std::move(program));
+  sim->set_sampling(spec_.sampling);
   if (spec_.map_text) sim->map_text();
   for (const MemRegion& region : spec_.regions) {
     sim->map_region(region.base, region.bytes, region.perm);

@@ -54,6 +54,10 @@ struct MachineSpec {
   /// set explicitly (sizing studies and attack PoCs set it).
   bool allow_undersized_shadows = false;
   bool map_text = true;  ///< map the program's code pages at build time
+  /// Sampled-simulation schedule (disabled by default). Carried onto the
+  /// built Simulator; run_sampled_auto() and the experiment engine honor
+  /// it. See sim::SamplingSpec.
+  SamplingSpec sampling;
   std::vector<MemRegion> regions;
   std::vector<Poke> pokes;
 

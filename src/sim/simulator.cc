@@ -1,6 +1,21 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/functional.h"
+
 namespace safespec::sim {
+
+void SamplingSpec::validate() const {
+  if (enabled() && detail_instrs == 0) {
+    throw std::invalid_argument(
+        "sampling.detail_instrs must be positive when sampling is enabled "
+        "(fast_forward_interval > 0), or nothing is ever measured");
+  }
+}
 
 Simulator::Simulator(const cpu::CoreConfig& config, isa::Program program)
     : program_(std::move(program)) {
@@ -31,6 +46,136 @@ void Simulator::map_text() {
 SimResult Simulator::run(Cycle max_cycles, std::uint64_t max_instrs) {
   const auto stop = core_->run(max_cycles, max_instrs);
   return snapshot(stop);
+}
+
+void Simulator::restore(const ArchCheckpoint& cp) {
+  // The fast path records no delta (functional engine and core share
+  // mem_, so stores are already applied); re-applying new values is
+  // idempotent either way.
+  for (const auto& w : cp.mem_delta) mem_.write64(w.addr, w.new_value);
+  core_->restore_arch(cp.regs, cp.pc);
+}
+
+SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
+                                 std::uint64_t max_instrs) {
+  spec.validate();
+  // Disabled sampling is *exactly* the detailed run — the golden/ff=0
+  // guarantee: bit-identical cycle counts.
+  if (!spec.enabled()) return run(max_cycles, max_instrs);
+
+  FunctionalEngine engine(&program_, &mem_, &page_table_);
+  SamplingStats s;
+  s.enabled = true;
+  std::vector<double> ipc_samples;
+  std::uint64_t remaining = max_instrs;
+  Cycle cycles_left = max_cycles;  // detailed cycles only
+  std::uint64_t ff_commits = 0;
+  std::uint64_t ff_faults = 0;
+  auto stop = cpu::StopReason::kMaxInstrs;
+  bool done = false;
+
+  // One detailed segment of up to `n` committed instructions (the core
+  // may overshoot by up to commit_width - 1; the actual count is what we
+  // account). Decrements the shared cycle/instruction budgets.
+  const auto detail_segment = [&](std::uint64_t n, std::uint64_t& commits,
+                                  Cycle& cycles) {
+    const std::uint64_t c0 = core_->stats().committed_instrs;
+    const Cycle y0 = core_->stats().cycles;
+    const auto seg_stop = core_->run(cycles_left, n);
+    commits = core_->stats().committed_instrs - c0;
+    cycles = core_->stats().cycles - y0;
+    cycles_left = cycles >= cycles_left ? 0 : cycles_left - cycles;
+    remaining -= std::min(commits, remaining);
+    return seg_stop;
+  };
+
+  while (remaining > 0 && !done) {
+    // ---- fast-forward (functional, no cycles) --------------------------
+    const std::uint64_t c0 = engine.committed();
+    const std::uint64_t f0 = engine.faults();
+    const auto ff_stop =
+        engine.run(std::min(spec.fast_forward_interval, remaining));
+    ff_commits += engine.committed() - c0;
+    ff_faults += engine.faults() - f0;
+    remaining -= std::min(engine.committed() - c0, remaining);
+    if (ff_stop != cpu::StopReason::kMaxInstrs) {
+      stop = ff_stop;  // program finished (halt / unhandled fault)
+      break;
+    }
+    if (remaining == 0) break;
+
+    // ---- detailed window: restore, warm up, measure --------------------
+    restore(engine.checkpoint());
+    if (spec.warmup_instrs > 0) {
+      std::uint64_t commits = 0;
+      Cycle cycles = 0;
+      const auto st = detail_segment(std::min(spec.warmup_instrs, remaining),
+                                     commits, cycles);
+      s.warmup_commits += commits;
+      if (st != cpu::StopReason::kMaxInstrs) {
+        stop = st;
+        done = true;
+      }
+    }
+    if (!done && remaining > 0) {
+      std::uint64_t commits = 0;
+      Cycle cycles = 0;
+      const auto st = detail_segment(std::min(spec.detail_instrs, remaining),
+                                     commits, cycles);
+      s.measured_commits += commits;
+      s.measured_cycles += cycles;
+      if (commits > 0 && cycles > 0) {
+        ++s.windows;
+        ipc_samples.push_back(static_cast<double>(commits) /
+                              static_cast<double>(cycles));
+      }
+      if (st != cpu::StopReason::kMaxInstrs) {
+        stop = st;
+        done = true;
+      }
+    }
+    if (done || remaining == 0) break;
+
+    // ---- hand the detailed state back to the engine --------------------
+    ArchCheckpoint cp;
+    for (int r = 0; r < kNumArchRegs; ++r) {
+      cp.regs[static_cast<std::size_t>(r)] =
+          core_->reg(static_cast<RegIndex>(r));
+    }
+    cp.pc = core_->next_commit_pc();
+    // Keep the engine's counters global (fast-forwarded + detailed) so
+    // checkpoints and kRdCycle stay monotone across windows.
+    cp.committed = ff_commits + core_->stats().committed_instrs;
+    cp.faults = ff_faults + core_->stats().faults;
+    cp.started = true;
+    engine.restore(cp);
+  }
+
+  if (!ipc_samples.empty()) {
+    double sum = 0.0;
+    for (const double x : ipc_samples) sum += x;
+    s.ipc_mean = sum / static_cast<double>(ipc_samples.size());
+    if (ipc_samples.size() >= 2) {
+      double sq = 0.0;
+      for (const double x : ipc_samples) {
+        sq += (x - s.ipc_mean) * (x - s.ipc_mean);
+      }
+      s.ipc_stddev =
+          std::sqrt(sq / static_cast<double>(ipc_samples.size() - 1));
+      s.ipc_ci95 = 1.96 * s.ipc_stddev /
+                   std::sqrt(static_cast<double>(ipc_samples.size()));
+    }
+  }
+  s.fast_forwarded = ff_commits;
+
+  SimResult r = snapshot(stop);
+  // Core stats cover only the detailed windows; fold in the
+  // fast-forwarded instructions and the faults the engine handled.
+  r.committed_instrs += ff_commits;
+  r.faults += ff_faults;
+  if (s.windows > 0) r.ipc = s.ipc_mean;  // sampled point estimate
+  r.sampling = s;
+  return r;
 }
 
 SimResult Simulator::snapshot(cpu::StopReason stop) const {

@@ -15,12 +15,52 @@
 
 namespace safespec::sim {
 
+struct ArchCheckpoint;  // sim/functional.h
+
 /// a - b clamped at zero: counter pairs sampled from different structures
 /// can disagree transiently (e.g. a shadow hit recorded for a load whose
 /// L1 miss was annulled), and the rate helpers must not underflow.
 constexpr std::uint64_t saturating_sub(std::uint64_t a, std::uint64_t b) {
   return a > b ? a - b : 0;
 }
+
+/// SMARTS-style sampled-simulation schedule: repeat [fast-forward
+/// `fast_forward_interval` instructions functionally -> run
+/// `warmup_instrs` in full detail unmeasured (re-warming caches,
+/// predictors and shadows staled by the gap) -> run `detail_instrs` in
+/// full detail, measured]. One IPC sample per measured window; the run
+/// reports their mean with a confidence interval (SimResult::sampling).
+///
+/// fast_forward_interval == 0 disables sampling entirely:
+/// Simulator::run_sampled degenerates to the plain detailed run and
+/// reproduces its cycle counts bit-identically.
+struct SamplingSpec {
+  std::uint64_t fast_forward_interval = 0;  ///< functional instrs per gap
+  std::uint64_t warmup_instrs = 2'000;      ///< detailed, unmeasured
+  std::uint64_t detail_instrs = 10'000;     ///< detailed, measured
+
+  bool enabled() const { return fast_forward_interval > 0; }
+
+  /// Throws std::invalid_argument when sampling is enabled with a zero
+  /// measured window (nothing would ever be measured).
+  void validate() const;
+};
+
+/// Sampled-run accounting attached to SimResult. The IPC estimate is the
+/// mean of per-window IPC samples; ipc_ci95 is the +/- half-width of the
+/// 95% confidence interval on that mean (normal approximation,
+/// 1.96 * stddev / sqrt(windows); zero when fewer than two windows).
+struct SamplingStats {
+  bool enabled = false;
+  std::uint64_t windows = 0;             ///< measured detail windows
+  std::uint64_t fast_forwarded = 0;      ///< functional-engine commits
+  std::uint64_t warmup_commits = 0;      ///< detailed, unmeasured commits
+  std::uint64_t measured_commits = 0;    ///< detailed, measured commits
+  Cycle measured_cycles = 0;             ///< cycles in measured windows
+  double ipc_mean = 0.0;
+  double ipc_stddev = 0.0;               ///< sample stddev across windows
+  double ipc_ci95 = 0.0;
+};
 
 /// Everything the figures need from one run, flattened out of the core's
 /// structures.
@@ -76,6 +116,13 @@ struct SimResult {
   std::uint64_t mispredicts = 0;
   std::uint64_t squashed_instrs = 0;
   std::uint64_t faults = 0;
+
+  /// Sampled-run accounting; `sampling.enabled` is false for plain
+  /// detailed runs. When enabled, `committed_instrs` counts every
+  /// architectural instruction (fast-forwarded + detailed), `cycles`
+  /// counts only detailed cycles, and `ipc` is the sampled point
+  /// estimate (sampling.ipc_mean).
+  SamplingStats sampling;
 };
 
 /// Owns the full simulated machine for one experiment.
@@ -98,6 +145,32 @@ class Simulator {
   SimResult run(Cycle max_cycles = 50'000'000,
                 std::uint64_t max_instrs = ~0ULL);
 
+  /// Sampled run (see SamplingSpec): alternates functional fast-forward
+  /// with checkpoint-restored detailed windows on the same memory image
+  /// and core. With `spec` disabled (fast_forward_interval == 0) this is
+  /// exactly run() — bit-identical cycle counts. `max_cycles` bounds the
+  /// *detailed* cycles only (the functional engine has no clock);
+  /// `max_instrs` bounds total architectural instructions.
+  SimResult run_sampled(const SamplingSpec& spec,
+                        Cycle max_cycles = 50'000'000,
+                        std::uint64_t max_instrs = ~0ULL);
+
+  /// Sampled run under the simulator's own stored SamplingSpec (set at
+  /// build time from MachineSpec::sampling; disabled by default).
+  SimResult run_sampled_auto(Cycle max_cycles = 50'000'000,
+                             std::uint64_t max_instrs = ~0ULL) {
+    return run_sampled(sampling_, max_cycles, max_instrs);
+  }
+
+  const SamplingSpec& sampling() const { return sampling_; }
+  void set_sampling(const SamplingSpec& spec) { sampling_ = spec; }
+
+  /// Restores a functional-engine checkpoint into the detailed machine:
+  /// applies the memory delta (if any), installs the register file, and
+  /// restarts the core at cp.pc. Microarchitectural warming state
+  /// survives, as in Core::restart_at.
+  void restore(const ArchCheckpoint& cp);
+
   cpu::Core& core() { return *core_; }
   const cpu::Core& core() const { return *core_; }
   memory::MainMemory& memory() { return mem_; }
@@ -114,6 +187,7 @@ class Simulator {
   memory::MainMemory mem_;
   memory::PageTable page_table_;
   std::unique_ptr<cpu::Core> core_;
+  SamplingSpec sampling_;  ///< disabled unless set_sampling() enables it
 };
 
 }  // namespace safespec::sim

@@ -22,8 +22,14 @@ std::unique_ptr<sim::Simulator> make_workload_sim(
 /// the run then continues for `measure_instrs` more (statistics are
 /// cumulative — the warm-up mainly primes caches/predictors so short
 /// simulations are not dominated by cold-start effects).
+///
+/// When `sampling` is enabled the run alternates functional fast-forward
+/// with detailed windows (sim::Simulator::run_sampled); the default
+/// (disabled) spec takes the plain detailed path, bit-identical to the
+/// three-argument overload.
 sim::SimResult run_workload(const WorkloadProfile& profile,
                             const cpu::CoreConfig& config,
-                            std::uint64_t measure_instrs);
+                            std::uint64_t measure_instrs,
+                            const sim::SamplingSpec& sampling = {});
 
 }  // namespace safespec::workloads

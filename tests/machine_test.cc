@@ -195,6 +195,42 @@ TEST(MachineSpecSet, PresetReseedsCoreButKeepsPolicy) {
   EXPECT_EQ(spec.core.policy, "WFC");
 }
 
+TEST(MachineSpecJson, SamplingScheduleRoundTrips) {
+  MachineSpec spec = sim::machine_preset("skylake");
+  spec.sampling.fast_forward_interval = 500'000;
+  spec.sampling.warmup_instrs = 3'000;
+  spec.sampling.detail_instrs = 7'000;
+  const std::string json = spec.to_json();
+  const MachineSpec parsed = MachineSpec::from_json(json);
+  EXPECT_EQ(parsed.to_json(), json);
+  EXPECT_EQ(parsed.sampling.fast_forward_interval, 500'000u);
+  EXPECT_EQ(parsed.sampling.warmup_instrs, 3'000u);
+  EXPECT_EQ(parsed.sampling.detail_instrs, 7'000u);
+  EXPECT_TRUE(parsed.sampling.enabled());
+  // A document without a "sampling" object keeps sampling disabled.
+  EXPECT_FALSE(
+      MachineSpec::from_json(R"({"preset": "skylake"})").sampling.enabled());
+}
+
+TEST(MachineSpecSet, SamplingKeysOverrideSchedule) {
+  MachineSpec spec;
+  spec.set("sampling.fast_forward_interval=100000");
+  spec.set("sampling.warmup_instrs=4000");
+  spec.set("sampling.detail_instrs", "8000");
+  EXPECT_EQ(spec.sampling.fast_forward_interval, 100'000u);
+  EXPECT_EQ(spec.sampling.warmup_instrs, 4'000u);
+  EXPECT_EQ(spec.sampling.detail_instrs, 8'000u);
+}
+
+TEST(MachineSpecValidate, RejectsEnabledSamplingWithZeroDetailWindow) {
+  MachineSpec spec = sim::machine_preset("skylake");
+  spec.sampling.fast_forward_interval = 1'000;
+  spec.sampling.detail_instrs = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.sampling.fast_forward_interval = 0;  // disabled: anything goes
+  EXPECT_NO_THROW(spec.validate());
+}
+
 TEST(MachineSpecSet, RejectsUnknownKeysAndBadValues) {
   MachineSpec spec;
   EXPECT_THROW(spec.set("no_such_field=1"), std::invalid_argument);

@@ -31,12 +31,19 @@ namespace {
 
 struct Cell {
   std::string workload, policy, preset;
+  std::string mode = "detailed";
   std::uint64_t committed_instrs = 0;
   std::uint64_t cycles = 0;
   double wall_ms = 0.0;
   double mips = 0.0;
 
-  std::string key() const { return workload + "/" + policy + "/" + preset; }
+  /// "/mode" is appended only for non-detailed cells, so keys from
+  /// artifacts predating the mode axis keep matching their successors.
+  std::string key() const {
+    std::string k = workload + "/" + policy + "/" + preset;
+    if (mode != "detailed") k += "/" + mode;
+    return k;
+  }
 };
 
 /// Member lookup that treats absence as malformed input (exit 2), so a
@@ -65,6 +72,9 @@ std::vector<Cell> load_cells(const std::string& path) {
     c.workload = require(v, "workload", path).text;
     c.policy = require(v, "policy", path).text;
     c.preset = require(v, "preset", path).text;
+    // Optional: artifacts from before the mode axis have no "mode"
+    // member; they are all detailed cells.
+    if (const auto* mode = v.find("mode")) c.mode = mode->text;
     c.committed_instrs = safespec::json::as_u64(
         require(v, "committed_instrs", path), "committed_instrs");
     c.cycles = safespec::json::as_u64(require(v, "cycles", path), "cycles");

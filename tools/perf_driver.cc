@@ -14,6 +14,7 @@
 // machine-readable JSON so CI can archive them and successive runs can be
 // compared; with --repeat=N each cell reports its best-of-N (minimum
 // wall time), which filters scheduler noise on shared runners.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +24,7 @@
 
 #include "common/json.h"
 #include "safespec/policy.h"
+#include "sim/functional.h"
 #include "sim/machine.h"
 #include "workloads/runner.h"
 #include "workloads/workload.h"
@@ -31,18 +33,33 @@ namespace {
 
 using safespec::sim::SimResult;
 
-/// One grid point: workload profile x protection policy x machine preset.
+/// One grid point: workload profile x protection policy x machine preset,
+/// plus the simulation mode:
+///   detailed   — the cycle-accurate core only (historical cells);
+///   sampled    — Simulator::run_sampled under the --ff-interval/--warmup/
+///                --detail schedule (figure of merit: *effective* MIPS —
+///                architectural instructions covered per host second);
+///   functional — the bare FunctionalEngine, no detailed core at all
+///                (upper bound; also the fast-forward speed the sampled
+///                cells amortise against).
 struct Cell {
   std::string workload;
   std::string policy;
   std::string preset;
+  std::string mode = "detailed";
 };
+
+bool known_mode(const std::string& mode) {
+  return mode == "detailed" || mode == "sampled" || mode == "functional";
+}
 
 /// The default grid covers the hot-path variety that matters for
 /// throughput: pointer-chasing (mcf) and streaming (lbm) d-side traffic,
 /// a large code footprint stressing the i-side shadow (gcc), a
 /// branchy/squash-heavy control profile (exchange2), the kStall
-/// full-table path (WFB-stall), and the little "embedded" preset.
+/// full-table path (WFB-stall), and the little "embedded" preset. The
+/// trailing sampled/functional cells track the sampled-simulation paths:
+/// effective MIPS for the SMARTS schedule and the raw oracle-engine MIPS.
 std::vector<Cell> default_cells() {
   return {
       {"mcf", "baseline", "skylake"},  {"mcf", "WFC", "skylake"},
@@ -52,6 +69,9 @@ std::vector<Cell> default_cells() {
       {"exchange2", "WFC", "skylake"},
       {"xalancbmk", "WFB-stall", "skylake"},
       {"mcf", "WFC", "embedded"},
+      {"mcf", "baseline", "skylake", "sampled"},
+      {"gcc", "WFC", "skylake", "sampled"},
+      {"mcf", "baseline", "skylake", "functional"},
   };
 }
 
@@ -61,7 +81,13 @@ struct CellResult {
   std::uint64_t cycles = 0;
   double wall_ms = 0.0;
   const char* stop = "?";
+  // Sampled-mode extras (zero elsewhere).
+  std::uint64_t windows = 0;
+  double ipc = 0.0;
+  double ipc_ci95 = 0.0;
 
+  /// For sampled cells this is *effective* MIPS: fast-forwarded
+  /// instructions count too, since they are architecturally covered.
   double mips() const {
     return wall_ms <= 0.0 ? 0.0
                           : static_cast<double>(committed_instrs) /
@@ -82,13 +108,21 @@ void usage(const char* prog, std::FILE* out) {
   std::fprintf(
       out,
       "usage: %s [--instrs=N] [--repeat=N] [--out=FILE] [--cells=...]\n"
-      "  --instrs=N    committed instructions per cell (default 200000)\n"
-      "  --repeat=N    runs per cell; best (fastest) one is reported\n"
-      "                (default 1)\n"
-      "  --out=FILE    JSON output path (default BENCH_sim_throughput.json;\n"
-      "                \"-\" suppresses the file)\n"
-      "  --cells=...   comma-separated workload/policy/preset triples\n"
-      "                (default: a representative 10-cell grid)\n",
+      "          [--ff-interval=N] [--warmup=N] [--detail=N]\n"
+      "  --instrs=N       committed instructions per cell (default 200000)\n"
+      "  --repeat=N       runs per cell; best (fastest) one is reported\n"
+      "                   (default 1)\n"
+      "  --out=FILE       JSON output path (default\n"
+      "                   BENCH_sim_throughput.json; \"-\" suppresses it)\n"
+      "  --cells=...      comma-separated workload/policy/preset[/mode]\n"
+      "                   items; mode is detailed (default), sampled, or\n"
+      "                   functional (default: a representative grid)\n"
+      "  --ff-interval=N  sampled cells: functional instrs per gap\n"
+      "                   (default: --instrs/10, ~10 windows per cell)\n"
+      "  --warmup=N       sampled cells: detailed unmeasured instrs per\n"
+      "                   window (default 2000)\n"
+      "  --detail=N       sampled cells: detailed measured instrs per\n"
+      "                   window (default 10000)\n",
       prog);
 }
 
@@ -102,13 +136,22 @@ std::vector<Cell> parse_cells(const std::string& text) {
     const std::size_t a = item.find('/');
     const std::size_t b = a == std::string::npos ? a : item.find('/', a + 1);
     if (a == std::string::npos || b == std::string::npos) {
-      std::fprintf(stderr,
-                   "--cells item '%s' is not workload/policy/preset\n",
-                   item.c_str());
+      std::fprintf(
+          stderr, "--cells item '%s' is not workload/policy/preset[/mode]\n",
+          item.c_str());
       std::exit(2);
     }
-    cells.push_back({item.substr(0, a), item.substr(a + 1, b - a - 1),
-                     item.substr(b + 1)});
+    const std::size_t c = item.find('/', b + 1);
+    Cell cell;
+    cell.workload = item.substr(0, a);
+    cell.policy = item.substr(a + 1, b - a - 1);
+    if (c == std::string::npos) {
+      cell.preset = item.substr(b + 1);
+    } else {
+      cell.preset = item.substr(b + 1, c - b - 1);
+      cell.mode = item.substr(c + 1);
+    }
+    cells.push_back(std::move(cell));
     start = comma + 1;
   }
   return cells;
@@ -123,7 +166,8 @@ bool flag_value(const char* arg, const char* name, const char** value) {
   return false;
 }
 
-CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat) {
+CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat,
+                    const safespec::sim::SamplingSpec& sampling) {
   using namespace safespec;
   const auto profile = workloads::profile_by_name(cell.workload);
   cpu::CoreConfig config = sim::machine_preset(cell.preset).core;
@@ -135,8 +179,29 @@ CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat) {
     // A fresh machine per run: the measurement is always a cold start,
     // identical across repeats and across harness invocations.
     auto sim = workloads::make_workload_sim(profile, config, instrs);
+    if (cell.mode == "functional") {
+      // The bare engine over the same program/memory/page-table the
+      // detailed cells use — the oracle fast path in isolation.
+      sim::FunctionalEngine engine(&sim->program(), &sim->memory(),
+                                   &sim->page_table());
+      const auto t0 = std::chrono::steady_clock::now();
+      const cpu::StopReason stop = engine.run(instrs);
+      const auto t1 = std::chrono::steady_clock::now();
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      if (r == 0 || wall_ms < best.wall_ms) {
+        best.committed_instrs = engine.committed();
+        best.cycles = 0;
+        best.wall_ms = wall_ms;
+        best.stop = cpu::to_string(stop);
+      }
+      continue;
+    }
+    const sim::SamplingSpec spec =
+        cell.mode == "sampled" ? sampling : sim::SamplingSpec{};
     const auto t0 = std::chrono::steady_clock::now();
-    const SimResult result = sim->run(instrs * 40 + 1'000'000, instrs);
+    const SimResult result =
+        sim->run_sampled(spec, instrs * 40 + 1'000'000, instrs);
     const auto t1 = std::chrono::steady_clock::now();
     const double wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
@@ -145,6 +210,9 @@ CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat) {
       best.cycles = result.cycles;
       best.wall_ms = wall_ms;
       best.stop = cpu::to_string(result.stop);
+      best.windows = result.sampling.windows;
+      best.ipc = result.ipc;
+      best.ipc_ci95 = result.sampling.ipc_ci95;
     }
   }
   return best;
@@ -170,13 +238,20 @@ void write_json(const std::string& path, std::uint64_t instrs, int repeat,
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"policy\": \"%s\", \"preset\": \"%s\","
+        " \"mode\": \"%s\","
         " \"committed_instrs\": %llu, \"cycles\": %llu,"
-        " \"wall_ms\": %.3f, \"mips\": %.2f, \"stop\": \"%s\"}%s\n",
+        " \"wall_ms\": %.3f, \"mips\": %.2f, \"stop\": \"%s\"",
         r.cell.workload.c_str(), r.cell.policy.c_str(),
-        r.cell.preset.c_str(),
+        r.cell.preset.c_str(), r.cell.mode.c_str(),
         static_cast<unsigned long long>(r.committed_instrs),
         static_cast<unsigned long long>(r.cycles), r.wall_ms, r.mips(),
-        r.stop, i + 1 < results.size() ? "," : "");
+        r.stop);
+    if (r.cell.mode == "sampled") {
+      std::fprintf(f, ", \"windows\": %llu, \"ipc\": %.4f, \"ipc_ci95\": %.4f",
+                   static_cast<unsigned long long>(r.windows), r.ipc,
+                   r.ipc_ci95);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   const double aggregate =
       total_ms <= 0.0 ? 0.0 : static_cast<double>(total_instrs) /
@@ -198,6 +273,13 @@ int main(int argc, char** argv) {
   int repeat = 1;
   std::string out_path = "BENCH_sim_throughput.json";
   std::vector<Cell> cells = default_cells();
+  // Sampled-cell schedule. fast_forward_interval == 0 here means "auto":
+  // instrs/10, so a sampled cell runs ~10 windows at any --instrs and the
+  // detailed duty cycle shrinks as the budget grows (0.012% per window's
+  // 12k detailed instrs at --instrs=100000000).
+  sim::SamplingSpec sampling;
+  sampling.warmup_instrs = 2'000;
+  sampling.detail_instrs = 10'000;
 
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -217,11 +299,27 @@ int main(int argc, char** argv) {
       out_path = value;
     } else if (flag_value(arg, "--cells", &value)) {
       cells = parse_cells(value);
+    } else if (flag_value(arg, "--ff-interval", &value)) {
+      sampling.fast_forward_interval = parse_u64_arg(value, "--ff-interval");
+    } else if (flag_value(arg, "--warmup", &value)) {
+      sampling.warmup_instrs = parse_u64_arg(value, "--warmup");
+    } else if (flag_value(arg, "--detail", &value)) {
+      sampling.detail_instrs = parse_u64_arg(value, "--detail");
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg);
       usage(argv[0], stderr);
       return 2;
     }
+  }
+
+  if (sampling.fast_forward_interval == 0) {
+    sampling.fast_forward_interval = std::max<std::uint64_t>(instrs / 10, 1);
+  }
+  try {
+    sampling.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bad sampling schedule: %s\n", e.what());
+    return 2;
   }
 
   // Resolve every cell's names eagerly so a typo fails before any run.
@@ -230,6 +328,13 @@ int main(int argc, char** argv) {
       workloads::profile_by_name(cell.workload);
       policy::named_policy(cell.policy);
       sim::machine_preset(cell.preset);
+      if (!known_mode(cell.mode)) {
+        std::fprintf(stderr,
+                     "bad cell: unknown mode '%s' (detailed, sampled, "
+                     "functional)\n",
+                     cell.mode.c_str());
+        return 2;
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad cell: %s\n", e.what());
@@ -241,16 +346,22 @@ int main(int argc, char** argv) {
   std::uint64_t total_instrs = 0;
   double total_ms = 0.0;
   for (const Cell& cell : cells) {
-    const CellResult r = run_cell(cell, instrs, repeat);
+    const CellResult r = run_cell(cell, instrs, repeat, sampling);
     const bool full_budget = std::strcmp(r.stop, "max-instrs") == 0;
-    std::printf("perf: %-10s %-9s %-8s %9llu instrs %8llu Kcycles "
-                "%8.1f ms %7.2f MIPS%s%s\n",
+    std::printf("perf: %-10s %-9s %-8s %-10s %9llu instrs %8llu Kcycles "
+                "%8.1f ms %7.2f MIPS%s%s",
                 cell.workload.c_str(), cell.policy.c_str(),
-                cell.preset.c_str(),
+                cell.preset.c_str(), cell.mode.c_str(),
                 static_cast<unsigned long long>(r.committed_instrs),
                 static_cast<unsigned long long>(r.cycles / 1000),
                 r.wall_ms, r.mips(), full_budget ? "" : " stop=",
                 full_budget ? "" : r.stop);
+    if (cell.mode == "sampled") {
+      std::printf(" (%llu windows, ipc %.3f +/- %.3f)",
+                  static_cast<unsigned long long>(r.windows), r.ipc,
+                  r.ipc_ci95);
+    }
+    std::printf("\n");
     total_instrs += r.committed_instrs;
     total_ms += r.wall_ms;
     results.push_back(r);
