@@ -73,6 +73,46 @@ Core::Core(const CoreConfig& config, const isa::Program* program,
   fetch_pc_ = program_->entry();
   unresolved_branches_.reserve(static_cast<std::size_t>(config_.rob_entries));
   waiting_.reserve(static_cast<std::size_t>(config_.iq_entries));
+  if (config_.dib_lines > 0) {
+    std::size_t lines = 1;
+    while (lines < static_cast<std::size_t>(config_.dib_lines)) lines *= 2;
+    dib_.resize(lines);
+    dib_mask_ = static_cast<Addr>(lines - 1);
+  }
+}
+
+const isa::Instruction* Core::fetch_decode(Addr pc) {
+  // Misaligned pcs (speculated indirect targets) are never occupied and
+  // never cached — same answer program_->at() gives.
+  if (dib_.empty() || pc % isa::kInstrBytes != 0) return program_->at(pc);
+  const Addr line = pc >> kLineShift;
+  const std::size_t slot = (pc & (kLineSize - 1)) / isa::kInstrBytes;
+  // L0: sequential fetches stay on one line; skip even the indexed
+  // lookup and tag compare then.
+  if (line == dib_last_line_) {
+    ++stats_.dib_hits;
+    return dib_last_->slots[slot];
+  }
+  DibLine& entry = dib_[static_cast<std::size_t>(line & dib_mask_)];
+  if (entry.tag == line) {
+    ++stats_.dib_hits;
+  } else {
+    const Addr base = line << kLineShift;
+    for (std::size_t i = 0; i < entry.slots.size(); ++i) {
+      entry.slots[i] = program_->at(base + i * isa::kInstrBytes);
+    }
+    entry.tag = line;
+    ++stats_.dib_fills;
+  }
+  dib_last_line_ = line;
+  dib_last_ = &entry;
+  return entry.slots[slot];
+}
+
+void Core::invalidate_dib() {
+  for (DibLine& entry : dib_) entry.tag = ~Addr{0};
+  dib_last_ = nullptr;
+  dib_last_line_ = ~Addr{0};
 }
 
 StopReason Core::run(Cycle max_cycles, std::uint64_t max_instrs) {
@@ -965,7 +1005,7 @@ void Core::stage_fetch() {
   Addr last_line_touched = ~Addr{0};
 
   for (int n = 0; n < config_.fetch_width; ++n) {
-    const isa::Instruction* inst = program_->at(fetch_pc_);
+    const isa::Instruction* inst = fetch_decode(fetch_pc_);
     if (inst == nullptr) {
       // Speculated (or fell) into unmapped text: stall until redirected.
       fetch_stalled_ = true;

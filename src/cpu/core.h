@@ -75,6 +75,16 @@ struct CoreConfig {
   /// precisely the race window Meltdown exploits — dependent transmitting
   /// uops issue while the faulting load awaits retirement (P1, §II-B4).
   int commit_delay = 4;
+  /// Decoded-instruction buffer (DIB) lines in fetch: a direct-mapped
+  /// host-side cache of decoded-instruction lookups keyed by virtual
+  /// 64-byte fetch line, so loop iterations stop re-walking the program
+  /// map every cycle. Purely a simulator optimisation — it models no
+  /// hardware and never changes a cycle count (proven by test). 0
+  /// disables it; other values round up to a power of two. The default
+  /// covers the largest synthetic code footprint (gcc, ~263 lines)
+  /// without direct-map aliasing; a line is 136 host bytes, so this is
+  /// ~140 KB per core.
+  int dib_lines = 1024;
 
   Cycle alu_latency = 1;
   Cycle mul_latency = 3;
@@ -135,6 +145,10 @@ struct CoreStats {
   std::uint64_t fetch_l1i_hits = 0;
   std::uint64_t fetch_shadow_hits = 0;
   std::uint64_t fetch_misses = 0;  ///< went to L2/L3/memory
+
+  // Host-side decoded-instruction buffer effectiveness (no timing role).
+  std::uint64_t dib_hits = 0;
+  std::uint64_t dib_fills = 0;
 
   double ipc() const {
     return cycles == 0 ? 0.0
@@ -214,6 +228,12 @@ class Core {
   void restore_arch(const std::array<std::uint64_t, kNumArchRegs>& regs,
                     Addr pc);
 
+  /// Drops every decoded-instruction-buffer line. Call after mutating
+  /// the program text under a live core (the DIB caches Instruction
+  /// pointers into it, like the functional engine's translation cache
+  /// caches page-table entries).
+  void invalidate_dib();
+
  private:
   struct FetchedInst {
     Addr pc = 0;
@@ -268,6 +288,10 @@ class Core {
   void promote_shadow(DynInst& di);
   /// Releases shadow references without promotion (squash path).
   void release_shadow(DynInst& di);
+
+  /// DIB-accelerated program_->at(): identical results, one map walk
+  /// per 64-byte line instead of per instruction.
+  const isa::Instruction* fetch_decode(Addr pc);
 
   void resolve_branch(DynInst& di);
   void release_pending_fetch_refs();
@@ -338,6 +362,23 @@ class Core {
 
   // Rename: arch reg -> producing seq (0 = value lives in regs_).
   SeqNum rename_[kNumArchRegs] = {};
+
+  /// One decoded-instruction-buffer line: the program-map lookup result
+  /// for every instruction slot of one 64-byte virtual line. The tag
+  /// sentinel ~0 can never match a real line index.
+  struct DibLine {
+    Addr tag = ~Addr{0};
+    std::array<const isa::Instruction*, kLineSize / isa::kInstrBytes>
+        slots{};
+  };
+  std::vector<DibLine> dib_;  ///< direct-mapped; empty when disabled
+  Addr dib_mask_ = 0;
+  /// L0 over the DIB: the line the previous fetch_decode hit.
+  /// Sequential fetches within a 64-byte line — the common case at any
+  /// fetch width — resolve with one compare and one load. The pointer
+  /// stays valid because dib_ never resizes after construction.
+  const DibLine* dib_last_ = nullptr;
+  Addr dib_last_line_ = ~Addr{0};
 
   Addr fetch_pc_ = 0;
   bool fetch_stalled_ = false;      ///< barrier (halt / unknown target)

@@ -92,6 +92,10 @@ std::vector<Cell> ExperimentSpec::expand() const {
       cell.config = variants_[v].config;
       cell.instrs = instrs_;
       cell.sampling = base_.sampling;
+      // The machine's trace axis rides on every cell's profile (profile
+      // names stay the row labels; "@" round-trips each cell's own
+      // synthetic image through the trace codec).
+      if (!base_.trace.empty()) cell.profile.trace_file = base_.trace;
       cells.push_back(std::move(cell));
     }
   }

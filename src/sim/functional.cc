@@ -108,6 +108,17 @@ void FunctionalEngine::restore(const ArchCheckpoint& cp) {
   delta_seen_.clear();
 }
 
+void FunctionalEngine::reset() {
+  std::fill(std::begin(regs_), std::end(regs_), 0);
+  pc_ = 0;
+  committed_ = 0;
+  faults_ = 0;
+  started_ = false;
+  invalidate_translations();
+  delta_.clear();
+  delta_seen_.clear();
+}
+
 void FunctionalEngine::record_memory_delta(bool on) {
   record_delta_ = on;
   delta_.clear();

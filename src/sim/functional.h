@@ -125,6 +125,14 @@ class FunctionalEngine {
   /// between runs.
   void invalidate_translations();
 
+  /// Back to the pristine post-construction state — zero registers and
+  /// counters, next run() starts at the program entry, translations
+  /// dropped, delta epoch cleared. The predecoded text is kept (the
+  /// program is borrowed and immutable), which is the point: a cached
+  /// engine reset() + run() behaves bit-identically to a freshly
+  /// constructed one without re-paying the predecode pass.
+  void reset();
+
  private:
   /// Predecoded instruction slot. `present` distinguishes real
   /// instructions from holes in the dense table.

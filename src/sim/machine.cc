@@ -215,6 +215,10 @@ void MachineSpec::validate() const {
   if (c.fetch_to_dispatch_delay < 0 || c.commit_delay < 0) {
     throw std::invalid_argument("pipeline delays must be non-negative");
   }
+  if (c.dib_lines < 0) {
+    throw std::invalid_argument("dib_lines must be non-negative (0 "
+                                "disables the decoded-instruction buffer)");
+  }
 
   validate_cache(c.hierarchy.l1i);
   validate_cache(c.hierarchy.l1d);
@@ -294,6 +298,7 @@ std::string MachineSpec::to_json() const {
   w.field("policy", c.policy);
   w.field("allow_undersized_shadows", allow_undersized_shadows);
   w.field("map_text", map_text);
+  w.field("trace", trace);
 
   w.open("core");
   w.field("fetch_width", c.fetch_width);
@@ -305,6 +310,7 @@ std::string MachineSpec::to_json() const {
   w.field("stq_entries", c.stq_entries);
   w.field("fetch_to_dispatch_delay", c.fetch_to_dispatch_delay);
   w.field("commit_delay", c.commit_delay);
+  w.field("dib_lines", c.dib_lines);
   w.field("alu_latency", c.alu_latency);
   w.field("mul_latency", c.mul_latency);
   w.field("div_latency", c.div_latency);
@@ -416,6 +422,7 @@ MachineSpec MachineSpec::from_json(const std::string& text) {
   read_string(doc, "policy", c.policy);
   read_bool(doc, "allow_undersized_shadows", spec.allow_undersized_shadows);
   read_bool(doc, "map_text", spec.map_text);
+  read_string(doc, "trace", spec.trace);
 
   if (const Json* core = doc.find("core")) {
     read_int(*core, "fetch_width", c.fetch_width);
@@ -427,6 +434,7 @@ MachineSpec MachineSpec::from_json(const std::string& text) {
     read_int(*core, "stq_entries", c.stq_entries);
     read_int(*core, "fetch_to_dispatch_delay", c.fetch_to_dispatch_delay);
     read_int(*core, "commit_delay", c.commit_delay);
+    read_int(*core, "dib_lines", c.dib_lines);
     read_cycle(*core, "alu_latency", c.alu_latency);
     read_cycle(*core, "mul_latency", c.mul_latency);
     read_cycle(*core, "div_latency", c.div_latency);
@@ -547,6 +555,10 @@ void MachineSpec::set(const std::string& key, const std::string& value) {
     map_text = to_bool();
     return;
   }
+  if (key == "trace") {
+    trace = value;
+    return;
+  }
 
   int* const int_fields[]{&c.fetch_width,
                           &c.issue_width,
@@ -556,11 +568,13 @@ void MachineSpec::set(const std::string& key, const std::string& value) {
                           &c.ldq_entries,
                           &c.stq_entries,
                           &c.fetch_to_dispatch_delay,
-                          &c.commit_delay};
+                          &c.commit_delay,
+                          &c.dib_lines};
   const char* const int_names[]{
       "fetch_width", "issue_width",  "commit_width",
       "iq_entries",  "rob_entries",  "ldq_entries",
-      "stq_entries", "fetch_to_dispatch_delay", "commit_delay"};
+      "stq_entries", "fetch_to_dispatch_delay", "commit_delay",
+      "dib_lines"};
   for (std::size_t i = 0; i < std::size(int_fields); ++i) {
     if (key == int_names[i]) {
       *int_fields[i] = to_int();

@@ -54,6 +54,12 @@ struct MachineSpec {
   /// set explicitly (sizing studies and attack PoCs set it).
   bool allow_undersized_shadows = false;
   bool map_text = true;  ///< map the program's code pages at build time
+  /// Trace workload axis: empty runs the synthetic generator; "@"
+  /// round-trips each cell's synthetic image through the trace codec in
+  /// memory; any other value is a trace file path. The experiment
+  /// engine copies this onto every cell's WorkloadProfile::trace_file
+  /// (see src/trace/). Set grammar: --set trace=PATH.
+  std::string trace;
   /// Sampled-simulation schedule (disabled by default). Carried onto the
   /// built Simulator; run_sampled_auto() and the experiment engine honor
   /// it. See sim::SamplingSpec.

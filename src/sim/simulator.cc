@@ -22,6 +22,18 @@ Simulator::Simulator(const cpu::CoreConfig& config, isa::Program program)
   core_ = std::make_unique<cpu::Core>(config, &program_, &mem_, &page_table_);
 }
 
+Simulator::~Simulator() = default;
+Simulator::Simulator(Simulator&&) noexcept = default;
+Simulator& Simulator::operator=(Simulator&&) noexcept = default;
+
+FunctionalEngine& Simulator::functional_engine() {
+  if (!engine_) {
+    engine_ =
+        std::make_unique<FunctionalEngine>(&program_, &mem_, &page_table_);
+  }
+  return *engine_;
+}
+
 void Simulator::map_region(Addr base, std::uint64_t bytes,
                            memory::PagePerm perm) {
   const Addr first = page_of(base);
@@ -63,7 +75,10 @@ SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
   // guarantee: bit-identical cycle counts.
   if (!spec.enabled()) return run(max_cycles, max_instrs);
 
-  FunctionalEngine engine(&program_, &mem_, &page_table_);
+  // Cached engine: predecode is paid once per simulator; reset() makes
+  // this call's behaviour bit-identical to a freshly built engine.
+  FunctionalEngine& engine = functional_engine();
+  engine.reset();
   SamplingStats s;
   s.enabled = true;
   std::vector<double> ipc_samples;

@@ -15,7 +15,8 @@
 
 namespace safespec::sim {
 
-struct ArchCheckpoint;  // sim/functional.h
+struct ArchCheckpoint;   // sim/functional.h
+class FunctionalEngine;  // sim/functional.h
 
 /// a - b clamped at zero: counter pairs sampled from different structures
 /// can disagree transiently (e.g. a shadow hit recorded for a load whose
@@ -129,6 +130,11 @@ struct SimResult {
 class Simulator {
  public:
   Simulator(const cpu::CoreConfig& config, isa::Program program);
+  // Out of line: FunctionalEngine is incomplete here. The explicit
+  // destructor would otherwise suppress the moves tests rely on.
+  ~Simulator();
+  Simulator(Simulator&&) noexcept;
+  Simulator& operator=(Simulator&&) noexcept;
 
   /// Maps [base, base+bytes) as user or kernel pages, identity-translated.
   void map_region(Addr base, std::uint64_t bytes,
@@ -182,11 +188,20 @@ class Simulator {
   /// driving core().step() manually in tests).
   SimResult snapshot(cpu::StopReason stop) const;
 
+  /// The simulator's functional engine, built (and its predecode pass
+  /// paid) on first use, then cached for the simulator's lifetime.
+  /// run_sampled resets it at the start of every call, so repeated
+  /// sampled runs behave exactly like the historical engine-per-call
+  /// code without re-predecoding. Harnesses that remap the page table
+  /// mid-experiment call invalidate_translations() on it, as ever.
+  FunctionalEngine& functional_engine();
+
  private:
   isa::Program program_;
   memory::MainMemory mem_;
   memory::PageTable page_table_;
   std::unique_ptr<cpu::Core> core_;
+  std::unique_ptr<FunctionalEngine> engine_;  ///< lazy; see functional_engine()
   SamplingSpec sampling_;  ///< disabled unless set_sampling() enables it
 };
 

@@ -3,6 +3,7 @@
 
 #include "common/rng.h"
 #include "isa/instruction.h"
+#include "trace/trace_workload.h"
 #include "workloads/workload.h"
 
 namespace safespec::workloads {
@@ -38,6 +39,19 @@ std::uint64_t floor_pow2(std::uint64_t v) {
 
 WorkloadImage generate(const WorkloadProfile& profile,
                        std::uint64_t target_instrs) {
+  // Trace frontend: "@" round-trips the synthetic image through the
+  // codec in memory; any other non-empty value is a trace file path.
+  // Either way the knobs below never run — the trace *is* the program.
+  if (profile.trace_file == "@") {
+    WorkloadProfile inner = profile;
+    inner.trace_file.clear();
+    return trace::to_workload_image(
+        trace::decode(trace::encode(
+            trace::record_workload(generate(inner, target_instrs)))));
+  }
+  if (!profile.trace_file.empty()) {
+    return trace::load_workload(profile.trace_file);
+  }
   if (profile.code_blocks <= 0 || profile.block_len <= 0) {
     throw std::invalid_argument("generate: empty workload body");
   }

@@ -7,7 +7,11 @@ namespace safespec::workloads {
 std::unique_ptr<sim::Simulator> make_workload_sim(
     const WorkloadProfile& profile, const cpu::CoreConfig& config,
     std::uint64_t target_instrs) {
-  WorkloadImage image = generate(profile, target_instrs);
+  return make_image_sim(generate(profile, target_instrs), config);
+}
+
+std::unique_ptr<sim::Simulator> make_image_sim(
+    WorkloadImage image, const cpu::CoreConfig& config) {
   sim::MachineSpec spec;
   spec.core = config;
   // Sweep axes legitimately undersize the shadows (sizing studies, TSA
@@ -15,7 +19,16 @@ std::unique_ptr<sim::Simulator> make_workload_sim(
   // resolve_machine / from_json, not on this internal path.
   spec.allow_undersized_shadows = true;
   sim::MachineBuilder builder{std::move(spec)};
-  builder.map_region(image.data_base, image.data_bytes);
+  // Trace-loaded images carry their address space in `regions` and have
+  // no data_base region (validate() rejects zero-byte regions).
+  if (image.data_bytes != 0) {
+    builder.map_region(image.data_base, image.data_bytes);
+  }
+  for (const WorkloadRegion& region : image.regions) {
+    builder.map_region(region.base, region.bytes,
+                       region.kernel ? memory::PagePerm::kKernel
+                                     : memory::PagePerm::kUser);
+  }
   for (const auto& [addr, value] : image.init_words) {
     builder.poke(addr, value);
   }

@@ -17,6 +17,14 @@ std::unique_ptr<sim::Simulator> make_workload_sim(
     const WorkloadProfile& profile, const cpu::CoreConfig& config,
     std::uint64_t target_instrs);
 
+/// Builds the simulator for an already-materialised image (the
+/// generate() half of make_workload_sim factored out): maps the data
+/// region and every extra region, applies the init words. Used directly
+/// by trace round-trip verification, where the image comes from a trace
+/// file rather than the generator.
+std::unique_ptr<sim::Simulator> make_image_sim(WorkloadImage image,
+                                               const cpu::CoreConfig& config);
+
 /// Generates, maps, runs, and snapshots one profile under one config.
 /// `warmup_instrs` committed instructions run before statistics matter;
 /// the run then continues for `measure_instrs` more (statistics are

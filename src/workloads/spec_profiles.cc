@@ -344,6 +344,26 @@ std::vector<std::string> spec2017_profile_names() {
 }
 
 WorkloadProfile profile_by_name(const std::string& name) {
+  // "trace:@NAME" — profile NAME round-tripped through the trace codec
+  // in memory; "trace:PATH" — replay the trace file at PATH.
+  if (name.rfind("trace:", 0) == 0) {
+    const std::string arg = name.substr(6);
+    if (arg.empty()) {
+      throw std::out_of_range(
+          "empty trace workload spec (want trace:PATH or trace:@PROFILE): " +
+          name);
+    }
+    if (arg[0] == '@') {
+      WorkloadProfile p = profile_by_name(arg.substr(1));
+      p.name = name;
+      p.trace_file = "@";
+      return p;
+    }
+    WorkloadProfile p;
+    p.name = name;
+    p.trace_file = arg;
+    return p;
+  }
   for (const auto& p : spec2017_profiles()) {
     if (p.name == name) return p;
   }

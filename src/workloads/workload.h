@@ -47,6 +47,24 @@ struct WorkloadProfile {
   double div_frac = 0.0;      ///< of ALU ops: 20-cycle divides
 
   std::uint64_t seed = 1;
+
+  // ---- trace frontend --------------------------------------------------
+  /// Empty: synthetic generation from the knobs above. "@": generate
+  /// synthetically, then round-trip the image through the trace codec
+  /// in memory (encode → decode — exercises the trace path with no
+  /// file; bit-identical by construction and by test). Anything else:
+  /// a trace file path to load instead of generating (the knobs above
+  /// are ignored; see src/trace/trace_format.h for the format).
+  std::string trace_file;
+};
+
+/// One extra mapped region a workload needs beyond data_base/data_bytes
+/// (trace-loaded workloads carry their full region list, including
+/// kernel-only secret regions recorded from fuzz programs).
+struct WorkloadRegion {
+  Addr base = 0;
+  std::uint64_t bytes = 0;
+  bool kernel = false;
 };
 
 /// A generated benchmark: the program plus everything needed to set up
@@ -57,6 +75,8 @@ struct WorkloadImage {
   std::uint64_t data_bytes = 0;  ///< map [data_base, +data_bytes) as user
   /// Initial memory words (pointer-chase permutation links).
   std::vector<std::pair<Addr, std::uint64_t>> init_words;
+  /// Additional regions to map (empty for synthetic workloads).
+  std::vector<WorkloadRegion> regions;
 };
 
 /// Generates a program whose committed instruction count is approximately
@@ -73,6 +93,10 @@ std::vector<WorkloadProfile> spec2017_profiles();
 std::vector<std::string> spec2017_profile_names();
 
 /// Look up one profile by name (throws std::out_of_range if unknown).
+/// Besides the 22 SPEC names, two trace spellings are accepted:
+///   "trace:PATH"   — replay the trace file at PATH;
+///   "trace:@NAME"  — profile NAME, round-tripped through the trace
+///                    codec in memory (see WorkloadProfile::trace_file).
 WorkloadProfile profile_by_name(const std::string& name);
 
 }  // namespace safespec::workloads

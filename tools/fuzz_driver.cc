@@ -23,6 +23,7 @@
 #include "isa/program.h"
 #include "safespec/policy.h"
 #include "sim/machine.h"
+#include "trace/trace_workload.h"
 
 namespace {
 
@@ -60,6 +61,10 @@ void usage(const char* prog, std::FILE* out) {
       "  --presets=...     comma-separated preset subset (default: all)\n"
       "  --dump            disassemble each seed's program (use with a\n"
       "                    small --count when reproducing a failure)\n"
+      "  --trace=FILE      with --dump: also record each seed's program,\n"
+      "                    regions and pokes as a trace file (FILE for a\n"
+      "                    single seed, FILE.<seed> for several); replay\n"
+      "                    with anything that accepts trace:FILE\n"
       "  --print-spec      print the effective FuzzSpec JSON and exit\n",
       prog);
 }
@@ -97,6 +102,7 @@ int main(int argc, char** argv) {
   bool dump = false;
   bool print_spec = false;
   std::string spec_path;
+  std::string trace_path;
   fuzz::FuzzSpec spec;
   fuzz::DifferentialConfig config;
 
@@ -128,6 +134,8 @@ int main(int argc, char** argv) {
       config.presets = split_csv(value);
     } else if (std::strcmp(arg, "--dump") == 0) {
       dump = true;
+    } else if (flag_value(arg, "--trace", &value) || next_value("--trace")) {
+      trace_path = value;
     } else if (std::strcmp(arg, "--print-spec") == 0) {
       print_spec = true;
     } else {
@@ -137,6 +145,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (!trace_path.empty() && !dump) {
+    std::fprintf(stderr, "--trace requires --dump (it records the dumped "
+                         "seeds' programs)\n");
+    return 2;
+  }
   try {
     if (!spec_path.empty()) spec = fuzz::FuzzSpec::from_json_file(spec_path);
     spec.validate();
@@ -162,6 +175,13 @@ int main(int argc, char** argv) {
                     fp.program.size());
         for (const auto& c : fp.classes) std::printf(" %s", c.c_str());
         std::printf(" ===\n%s", isa::to_string(fp.program).c_str());
+        if (!trace_path.empty()) {
+          const std::string path =
+              count == 1 ? trace_path
+                         : trace_path + "." + std::to_string(first_seed + i);
+          trace::write_trace_file(path, trace::record_fuzz(fp));
+          std::printf("trace: wrote %s\n", path.c_str());
+        }
       }
     }
     report = fuzz::run_fuzz(first_seed, count, spec, config, threads);

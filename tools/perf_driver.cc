@@ -39,9 +39,16 @@ using safespec::sim::SimResult;
 ///   sampled    — Simulator::run_sampled under the --ff-interval/--warmup/
 ///                --detail schedule (figure of merit: *effective* MIPS —
 ///                architectural instructions covered per host second);
+///   sampled-fast — run_sampled with an aggressive fast-forward interval
+///                (half the budget per gap — few windows, maximal
+///                functional duty cycle; tracks the sampling asymptote);
 ///   functional — the bare FunctionalEngine, no detailed core at all
 ///                (upper bound; also the fast-forward speed the sampled
 ///                cells amortise against).
+///
+/// Workload names go through workloads::profile_by_name, so trace
+/// spellings work in cells too: trace:@NAME (in-memory codec round trip
+/// of profile NAME) and trace:PATH (a trace file).
 struct Cell {
   std::string workload;
   std::string policy;
@@ -50,7 +57,8 @@ struct Cell {
 };
 
 bool known_mode(const std::string& mode) {
-  return mode == "detailed" || mode == "sampled" || mode == "functional";
+  return mode == "detailed" || mode == "sampled" ||
+         mode == "sampled-fast" || mode == "functional";
 }
 
 /// The default grid covers the hot-path variety that matters for
@@ -58,8 +66,12 @@ bool known_mode(const std::string& mode) {
 /// a large code footprint stressing the i-side shadow (gcc), a
 /// branchy/squash-heavy control profile (exchange2), the kStall
 /// full-table path (WFB-stall), and the little "embedded" preset. The
-/// trailing sampled/functional cells track the sampled-simulation paths:
-/// effective MIPS for the SMARTS schedule and the raw oracle-engine MIPS.
+/// trace:@ cells run the same workloads through the trace codec round
+/// trip (cycle-identical to their synthetic twins by construction, so
+/// the perf_compare gate covers the trace frontend too). The trailing
+/// sampled/sampled-fast/functional cells track the sampled-simulation
+/// paths: effective MIPS for the SMARTS schedule, the aggressive-gap
+/// asymptote, and the raw oracle-engine MIPS.
 std::vector<Cell> default_cells() {
   return {
       {"mcf", "baseline", "skylake"},  {"mcf", "WFC", "skylake"},
@@ -69,8 +81,11 @@ std::vector<Cell> default_cells() {
       {"exchange2", "WFC", "skylake"},
       {"xalancbmk", "WFB-stall", "skylake"},
       {"mcf", "WFC", "embedded"},
+      {"trace:@mcf", "baseline", "skylake"},
+      {"trace:@exchange2", "WFC", "skylake"},
       {"mcf", "baseline", "skylake", "sampled"},
       {"gcc", "WFC", "skylake", "sampled"},
+      {"mcf", "baseline", "skylake", "sampled-fast"},
       {"mcf", "baseline", "skylake", "functional"},
   };
 }
@@ -115,14 +130,21 @@ void usage(const char* prog, std::FILE* out) {
       "  --out=FILE       JSON output path (default\n"
       "                   BENCH_sim_throughput.json; \"-\" suppresses it)\n"
       "  --cells=...      comma-separated workload/policy/preset[/mode]\n"
-      "                   items; mode is detailed (default), sampled, or\n"
-      "                   functional (default: a representative grid)\n"
+      "                   items; mode is detailed (default), sampled,\n"
+      "                   sampled-fast, or functional (default: a\n"
+      "                   representative grid). Workloads accept trace\n"
+      "                   spellings: trace:@NAME / trace:PATH\n"
+      "  --set=key=value  override one machine field on every cell's\n"
+      "                   preset (repeatable; see MachineSpec::set) —\n"
+      "                   e.g. --set=dib_lines=0 measures the\n"
+      "                   decoded-instruction buffer's host-side win\n"
       "  --ff-interval=N  sampled cells: functional instrs per gap\n"
-      "                   (default: --instrs/10, ~10 windows per cell)\n"
+      "                   (default: --instrs/10, ~10 windows per cell;\n"
+      "                   sampled-fast always uses --instrs/2)\n"
       "  --warmup=N       sampled cells: detailed unmeasured instrs per\n"
-      "                   window (default 2000)\n"
+      "                   window (default 2000; sampled-fast 1000)\n"
       "  --detail=N       sampled cells: detailed measured instrs per\n"
-      "                   window (default 10000)\n",
+      "                   window (default 10000; sampled-fast 5000)\n",
       prog);
 }
 
@@ -167,10 +189,15 @@ bool flag_value(const char* arg, const char* name, const char** value) {
 }
 
 CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat,
-                    const safespec::sim::SamplingSpec& sampling) {
+                    const safespec::sim::SamplingSpec& sampling,
+                    const std::vector<std::string>& overrides) {
   using namespace safespec;
-  const auto profile = workloads::profile_by_name(cell.workload);
-  cpu::CoreConfig config = sim::machine_preset(cell.preset).core;
+  sim::MachineSpec machine = sim::machine_preset(cell.preset);
+  for (const std::string& kv : overrides) machine.set(kv);
+  auto profile = workloads::profile_by_name(cell.workload);
+  // Same per-cell trace plumbing as ExperimentSpec::expand().
+  if (!machine.trace.empty()) profile.trace_file = machine.trace;
+  cpu::CoreConfig config = machine.core;
   config.policy = cell.policy;
 
   CellResult best;
@@ -197,8 +224,16 @@ CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat,
       }
       continue;
     }
-    const sim::SamplingSpec spec =
-        cell.mode == "sampled" ? sampling : sim::SamplingSpec{};
+    sim::SamplingSpec spec;  // disabled => exactly the detailed run
+    if (cell.mode == "sampled") {
+      spec = sampling;
+    } else if (cell.mode == "sampled-fast") {
+      // Aggressive schedule: one gap spans half the budget, so almost
+      // everything fast-forwards — the sampling-throughput asymptote.
+      spec.fast_forward_interval = std::max<std::uint64_t>(instrs / 2, 1);
+      spec.warmup_instrs = 1'000;
+      spec.detail_instrs = 5'000;
+    }
     const auto t0 = std::chrono::steady_clock::now();
     const SimResult result =
         sim->run_sampled(spec, instrs * 40 + 1'000'000, instrs);
@@ -246,7 +281,7 @@ void write_json(const std::string& path, std::uint64_t instrs, int repeat,
         static_cast<unsigned long long>(r.committed_instrs),
         static_cast<unsigned long long>(r.cycles), r.wall_ms, r.mips(),
         r.stop);
-    if (r.cell.mode == "sampled") {
+    if (r.cell.mode.rfind("sampled", 0) == 0) {
       std::fprintf(f, ", \"windows\": %llu, \"ipc\": %.4f, \"ipc_ci95\": %.4f",
                    static_cast<unsigned long long>(r.windows), r.ipc,
                    r.ipc_ci95);
@@ -273,6 +308,7 @@ int main(int argc, char** argv) {
   int repeat = 1;
   std::string out_path = "BENCH_sim_throughput.json";
   std::vector<Cell> cells = default_cells();
+  std::vector<std::string> overrides;
   // Sampled-cell schedule. fast_forward_interval == 0 here means "auto":
   // instrs/10, so a sampled cell runs ~10 windows at any --instrs and the
   // detailed duty cycle shrinks as the budget grows (0.012% per window's
@@ -299,6 +335,8 @@ int main(int argc, char** argv) {
       out_path = value;
     } else if (flag_value(arg, "--cells", &value)) {
       cells = parse_cells(value);
+    } else if (flag_value(arg, "--set", &value)) {
+      overrides.push_back(value);
     } else if (flag_value(arg, "--ff-interval", &value)) {
       sampling.fast_forward_interval = parse_u64_arg(value, "--ff-interval");
     } else if (flag_value(arg, "--warmup", &value)) {
@@ -322,12 +360,15 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Resolve every cell's names eagerly so a typo fails before any run.
+  // Resolve every cell's names (and overrides) eagerly so a typo fails
+  // before any run.
   try {
     for (const Cell& cell : cells) {
       workloads::profile_by_name(cell.workload);
       policy::named_policy(cell.policy);
-      sim::machine_preset(cell.preset);
+      sim::MachineSpec machine = sim::machine_preset(cell.preset);
+      for (const std::string& kv : overrides) machine.set(kv);
+      machine.validate();
       if (!known_mode(cell.mode)) {
         std::fprintf(stderr,
                      "bad cell: unknown mode '%s' (detailed, sampled, "
@@ -346,9 +387,9 @@ int main(int argc, char** argv) {
   std::uint64_t total_instrs = 0;
   double total_ms = 0.0;
   for (const Cell& cell : cells) {
-    const CellResult r = run_cell(cell, instrs, repeat, sampling);
+    const CellResult r = run_cell(cell, instrs, repeat, sampling, overrides);
     const bool full_budget = std::strcmp(r.stop, "max-instrs") == 0;
-    std::printf("perf: %-10s %-9s %-8s %-10s %9llu instrs %8llu Kcycles "
+    std::printf("perf: %-16s %-9s %-8s %-12s %9llu instrs %8llu Kcycles "
                 "%8.1f ms %7.2f MIPS%s%s",
                 cell.workload.c_str(), cell.policy.c_str(),
                 cell.preset.c_str(), cell.mode.c_str(),
@@ -356,7 +397,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(r.cycles / 1000),
                 r.wall_ms, r.mips(), full_budget ? "" : " stop=",
                 full_budget ? "" : r.stop);
-    if (cell.mode == "sampled") {
+    if (cell.mode.rfind("sampled", 0) == 0) {
       std::printf(" (%llu windows, ipc %.3f +/- %.3f)",
                   static_cast<unsigned long long>(r.windows), r.ipc,
                   r.ipc_ci95);
