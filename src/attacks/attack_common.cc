@@ -73,10 +73,14 @@ void warm_secret(sim::Simulator& sim, Addr addr, bool kernel_page) {
 }
 
 ReceiverReading read_receiver(const sim::Simulator& sim) {
+  return read_receiver(sim, 0);
+}
+
+ReceiverReading read_receiver(const sim::Simulator& sim, int core) {
   ReceiverReading r;
   r.latencies.reserve(Layout::kCandidates);
   for (int c = 0; c < Layout::kCandidates; ++c) {
-    r.latencies.push_back(sim.peek(Layout::kResults + 8ull * c));
+    r.latencies.push_back(sim.peek_on(core, Layout::kResults + 8ull * c));
   }
   std::uint64_t best = ~0ull, second = ~0ull;
   for (int c = 0; c < Layout::kCandidates; ++c) {

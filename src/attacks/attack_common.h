@@ -80,6 +80,10 @@ struct ReceiverReading {
   std::vector<std::uint64_t> latencies;
 };
 ReceiverReading read_receiver(const sim::Simulator& sim);
+/// Same, but reads the table from core `c`'s private memory — the
+/// cross-core PoCs run the receiver on the spy core, so its latencies
+/// live in that core's address space.
+ReceiverReading read_receiver(const sim::Simulator& sim, int c);
 
 /// Outcome of one attack run.
 struct AttackOutcome {
@@ -88,6 +92,10 @@ struct AttackOutcome {
   int secret = -1;        ///< planted value
   int recovered = -1;     ///< attacker's best guess (-1: nothing recovered)
   bool leaked = false;    ///< recovered == secret with clear margin
+  /// Shared-level evictions where the victim way belonged to another
+  /// core. Zero for the single-core PoCs; the cross-core variants report
+  /// the contention their spy activity caused at the shared L2/L3.
+  std::uint64_t cross_core_evictions = 0;
   std::string detail;
 };
 

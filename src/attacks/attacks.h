@@ -69,6 +69,61 @@ struct TsaOutcome {
 
 TsaOutcome run_tsa_attack(const TsaConfig& config);
 
+// ---- cross-core variants (two cores sharing the L2/L3) ---------------------
+//
+// The multi-core machine shares the L2/L3 (tag-only, identity-mapped, so
+// equal addresses on two cores alias the same shared line — the classic
+// shared-library flush+reload setting) while L1s, TLBs and SafeSpec
+// shadow structures stay per-core. The PoCs below split the single-core
+// Spectre harness across cores: the victim speculates on core 0, the spy
+// observes from core 1, synchronised with rdcycle spin barriers (the
+// round-robin schedule keeps both cores' cycle counters in lockstep).
+
+/// Cross-core Flush+Reload: the spy (core 1) flushes the shared probe
+/// lines, the victim (core 0) is mistrained in-program and strikes with
+/// an out-of-bounds offset, and the spy times its reloads. On the
+/// baseline the victim's transient probe touch fills the shared L2/L3,
+/// so the spy sees an L2-vs-memory gap; under WFC/WFB the fill stays in
+/// the victim's private shadow and is annulled on squash.
+AttackOutcome run_cross_core_flush_reload(const std::string& policy,
+                                          int secret);
+
+/// Cross-core eviction mistraining: the spy never flushes anything the
+/// victim owns — instead it *primes* the L3 set of the victim's bounds
+/// word with conflicting committed fills. Inclusive back-invalidation
+/// then removes the bound from the victim's private L1/L2 too, so the
+/// victim's own bounds check is slow and the speculation window opens
+/// remotely. Transmission and reception as in the flush+reload variant.
+/// The outcome's detail records the shared-level cross-owner eviction
+/// count, which is non-zero under every policy (the priming itself is
+/// architectural).
+AttackOutcome run_cross_core_evict(const std::string& policy, int secret);
+
+/// Shadow-structure contention probe: core 0 runs a speculation storm
+/// (mistrained branches with wrong-path load chains) while core 1 halts
+/// almost immediately (its only shadow activity is the page-table walk
+/// of its first fetch). A control run replaces the storm with the same
+/// idle program. Shadow structures are per-core, so the idle core's
+/// shadow d-cache lifecycle (inserts/hits/committed/squashed) must be
+/// identical whether its neighbour storms or idles — `shadows_private`
+/// asserts exactly that, while the storm core's own occupancy shows the
+/// speculation was real.
+struct ShadowContentionOutcome {
+  std::string policy;
+  std::uint64_t storm_shadow_fills = 0;   ///< storm core shadow d-cache fills
+  std::uint64_t storm_occupancy_p9999 = 0;
+  std::uint64_t idle_shadow_fills = 0;       ///< idle core, storm running
+  std::uint64_t idle_shadow_fills_solo = 0;  ///< idle core, control run
+  bool shadows_private = false;  ///< idle lifecycle identical in both runs
+  std::string detail;
+};
+
+ShadowContentionOutcome run_cross_core_shadow_contention(
+    const std::string& policy);
+
+/// Runs both cross-core leakage PoCs under `policy` (secrets fixed).
+std::vector<AttackOutcome> run_cross_core_attacks(const std::string& policy);
+
 /// Runs every table-III/IV attack under `policy` (secrets fixed by seed).
 std::vector<AttackOutcome> run_all_attacks(const std::string& policy);
 

@@ -50,7 +50,8 @@ const char* to_string(StopReason reason) {
 }
 
 Core::Core(const CoreConfig& config, const isa::Program* program,
-           memory::MainMemory* mem, memory::PageTable* page_table)
+           memory::MainMemory* mem, memory::PageTable* page_table,
+           memory::SharedLevels* shared_levels, int core_id)
     : config_(tuned_config(config)),
       policy_(&policy::named_policy(config_.policy)),
       protection_on_(policy_->shadows_speculation()),
@@ -59,7 +60,8 @@ Core::Core(const CoreConfig& config, const isa::Program* program,
       program_(program),
       mem_(mem),
       page_table_(page_table),
-      hierarchy_(config_.hierarchy),
+      core_id_(core_id),
+      hierarchy_(config_.hierarchy, shared_levels, core_id),
       itlb_(config_.itlb),
       dtlb_(config_.dtlb),
       predictor_(config_.predictor),

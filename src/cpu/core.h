@@ -62,6 +62,14 @@ struct MutationHooks {
 
 /// Core pipeline configuration (Table I defaults).
 struct CoreConfig {
+  /// Machine-level: number of cores sharing the L2/L3. Each core gets
+  /// this same per-core configuration (private L1s/TLBs/shadows). Lives
+  /// on CoreConfig — not beside it — so every harness that carries one
+  /// (experiment cells, the workload runner, fuzz cells, attack configs)
+  /// inherits the axis without plumbing; MachineSpec serializes it as the
+  /// top-level "cores" field and validates the range. The Core itself
+  /// ignores it.
+  int cores = 1;
   int fetch_width = 6;
   int issue_width = 6;
   int commit_width = 6;
@@ -161,8 +169,12 @@ struct CoreStats {
 /// manipulate directly, playing the role of the OS / other processes).
 class Core {
  public:
+  /// `shared_levels == nullptr` gives the core a private L2/L3 (the
+  /// historical single-core shape); otherwise its hierarchy attaches to
+  /// the external shared levels and stamps requests with `core_id`.
   Core(const CoreConfig& config, const isa::Program* program,
-       memory::MainMemory* mem, memory::PageTable* page_table);
+       memory::MainMemory* mem, memory::PageTable* page_table,
+       memory::SharedLevels* shared_levels = nullptr, int core_id = 0);
 
   /// Runs until halt/fault/budget. Returns the stop reason.
   StopReason run(Cycle max_cycles = 10'000'000,
@@ -173,6 +185,22 @@ class Core {
 
   bool halted() const { return halted_; }
   Cycle now() const { return cycle_; }
+  int core_id() const { return core_id_; }
+
+  /// Why the last run() ended. Set at the halt/fault commit sites, so it
+  /// is accurate for any halted() core even when driven by step() — the
+  /// multi-core scheduler relies on that; budget stops are reported by
+  /// whichever loop enforced the budget.
+  StopReason stop_reason() const { return stop_reason_; }
+
+  /// True when the core can make no further progress by stepping:
+  /// halted, or committed control flow reached a pc with no instruction
+  /// (the front end is stalled with an empty pipeline and can never
+  /// refill). Mirrors the termination conditions of run() for external
+  /// cycle-by-cycle schedulers.
+  bool finished() const {
+    return halted_ || (fetch_stalled_ && rob_.empty() && fetch_queue_.empty());
+  }
 
   /// Architectural register read (post-run inspection by harnesses).
   std::uint64_t reg(RegIndex r) const { return regs_[r]; }
@@ -321,6 +349,7 @@ class Core {
   const isa::Program* program_;
   memory::MainMemory* mem_;
   memory::PageTable* page_table_;
+  int core_id_ = 0;
 
   // ---- microarchitectural structures ------------------------------------
   memory::CacheHierarchy hierarchy_;

@@ -86,16 +86,30 @@ ArchState oracle_state(const FuzzProgram& fp) {
   return state;
 }
 
-ArchState core_state(const sim::Simulator& sim, const sim::SimResult& res) {
+/// Stop reason for core `c`. The SimResult carries the primary's; a
+/// secondary reports its own (accurate for halted cores), maps a clean
+/// front-end drain to kFaultNoHandler like the single-core run loop, and
+/// otherwise inherits the run-level budget stop.
+cpu::StopReason core_stop(const sim::Simulator& sim,
+                          const sim::SimResult& res, int c) {
+  if (c == 0) return res.stop;
+  const cpu::Core& core = sim.core(c);
+  if (core.halted()) return core.stop_reason();
+  if (core.finished()) return cpu::StopReason::kFaultNoHandler;
+  return res.stop;
+}
+
+ArchState core_state(const sim::Simulator& sim, const sim::SimResult& res,
+                     int c) {
   ArchState state;
-  state.stop = res.stop;
-  state.committed = res.committed_instrs;
-  state.faults = res.faults;
+  state.stop = core_stop(sim, res, c);
+  state.committed = sim.core(c).stats().committed_instrs;
+  state.faults = sim.core(c).stats().faults;
   for (int r = 0; r < kNumArchRegs; ++r) {
     state.regs[static_cast<std::size_t>(r)] =
-        sim.core().reg(static_cast<RegIndex>(r));
+        sim.core(c).reg(static_cast<RegIndex>(r));
   }
-  state.memory = sim.memory().nonzero_words();
+  state.memory = sim.memory(c).nonzero_words();
   return state;
 }
 
@@ -143,8 +157,10 @@ SeedVerdict check_seed(std::uint64_t seed, const FuzzSpec& spec,
       const std::string name = policy + "/" + preset;
       sim::MachineBuilder builder =
           sim::MachineBuilder::from_preset(preset);
-      builder.policy(policy).configure(
-          [&config](cpu::CoreConfig& c) { c.mutation = config.mutation; });
+      builder.policy(policy).configure([&config](cpu::CoreConfig& c) {
+        c.mutation = config.mutation;
+        c.cores = config.cores;
+      });
       for (const auto& region : fp.regions) {
         builder.map_region(region.base, region.bytes, region.perm);
       }
@@ -153,28 +169,35 @@ SeedVerdict check_seed(std::uint64_t seed, const FuzzSpec& spec,
       const auto sim = builder.build(fp.program);
       const auto result =
           sim->run(config.max_cycles, 4 * fp.max_instrs_hint);
-      ArchState state = core_state(*sim, result);
 
-      if (!converged(state.stop)) {
-        fail(name + ": did not converge: " +
-             cpu::to_string(state.stop));
+      // Every core ran the same program on private memory, so each one
+      // must independently reproduce the oracle state — regardless of
+      // the interleaving and shared-level contention between them.
+      for (int c = 0; c < sim->num_cores(); ++c) {
+        const std::string where =
+            sim->num_cores() == 1 ? name
+                                  : name + "[core " + std::to_string(c) + "]";
+        ArchState state = core_state(*sim, result, c);
+        if (!converged(state.stop)) {
+          fail(where + ": did not converge: " + cpu::to_string(state.stop));
+        }
+        if (const std::string diff = first_difference(oracle, state);
+            !diff.empty()) {
+          fail(where + ": committed state diverges from oracle: " + diff);
+        }
+        const cpu::Core& core = sim->core(c);
+        if (!core.shadow_dcache().empty() || !core.shadow_icache().empty() ||
+            !core.shadow_dtlb().empty() || !core.shadow_itlb().empty()) {
+          std::ostringstream oss;
+          oss << where << ": shadow structures not empty after drain"
+              << " (dcache=" << core.shadow_dcache().live_count()
+              << " icache=" << core.shadow_icache().live_count()
+              << " dtlb=" << core.shadow_dtlb().live_count()
+              << " itlb=" << core.shadow_itlb().live_count() << ")";
+          fail(oss.str());
+        }
+        if (c == 0) cells.push_back({name, std::move(state)});
       }
-      if (const std::string diff = first_difference(oracle, state);
-          !diff.empty()) {
-        fail(name + ": committed state diverges from oracle: " + diff);
-      }
-      const cpu::Core& core = sim->core();
-      if (!core.shadow_dcache().empty() || !core.shadow_icache().empty() ||
-          !core.shadow_dtlb().empty() || !core.shadow_itlb().empty()) {
-        std::ostringstream oss;
-        oss << name << ": shadow structures not empty after drain"
-            << " (dcache=" << core.shadow_dcache().live_count()
-            << " icache=" << core.shadow_icache().live_count()
-            << " dtlb=" << core.shadow_dtlb().live_count()
-            << " itlb=" << core.shadow_itlb().live_count() << ")";
-        fail(oss.str());
-      }
-      cells.push_back({name, std::move(state)});
     }
   }
   verdict.cells = cells.size();

@@ -60,6 +60,12 @@ struct DifferentialConfig {
   std::vector<std::string> policies;
   /// Machine presets to cross (empty: every registered preset).
   std::vector<std::string> presets;
+  /// Cores per cell. At cores > 1 every core runs the seed's program on
+  /// its own private memory under the shared L2/L3, and the oracle
+  /// invariants are checked against *each* core's architectural state —
+  /// the interleaving and shared-level contention must never reach
+  /// architecture.
+  int cores = 1;
   /// Per-cell cycle budget; exceeding it is a convergence violation.
   Cycle max_cycles = 4'000'000;
   /// Defect injection for mutation-testing the harness itself (all off

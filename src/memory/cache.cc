@@ -31,11 +31,12 @@ int Cache::find_way(int set, Addr line) const {
   return -1;
 }
 
-bool Cache::access(Addr line, bool update_replacement, bool count_stats) {
+bool Cache::access(Addr line, bool update_replacement, bool count_stats,
+                   int owner) {
   const int set = set_of(line);
   const int way = find_way(set, line);
   if (way >= 0) {
-    if (update_replacement) repl_[set].touch(way, ++tick_);
+    if (update_replacement) repl_[set].touch(way, ++tick_, owner);
     if (count_stats) ++pending_hits_;
     return true;
   }
@@ -45,14 +46,20 @@ bool Cache::access(Addr line, bool update_replacement, bool count_stats) {
 
 bool Cache::probe(Addr line) const { return find_way(set_of(line), line) >= 0; }
 
-std::optional<Addr> Cache::fill(Addr line) {
+int Cache::owner_of(Addr line) const {
+  const int set = set_of(line);
+  const int way = find_way(set, line);
+  return way < 0 ? -1 : repl_[set].owner_of(way);
+}
+
+std::optional<Addr> Cache::fill(Addr line, int owner) {
   ++tick_;
   const int set = set_of(line);
   const std::size_t base = static_cast<std::size_t>(set) * config_.ways;
 
   // Already present: refresh recency, no eviction.
   if (const int existing = find_way(set, line); existing >= 0) {
-    repl_[set].fill(existing, tick_);
+    repl_[set].fill(existing, tick_, owner);
     return std::nullopt;
   }
   // Free way available.
@@ -61,16 +68,17 @@ std::optional<Addr> Cache::fill(Addr line) {
     if (!way.valid) {
       way.valid = true;
       way.tag = line;
-      repl_[set].fill(w, tick_);
+      repl_[set].fill(w, tick_, owner);
       return std::nullopt;
     }
   }
   // Evict.
-  const int victim = repl_[set].victim(tick_);
+  const int victim = repl_[set].victim(tick_, owner);
+  if (repl_[set].owner_of(victim) != owner) ++cross_owner_evictions_;
   Way& way = ways_[base + victim];
   const Addr evicted = way.tag;
   way.tag = line;
-  repl_[set].fill(victim, tick_);
+  repl_[set].fill(victim, tick_, owner);
   return evicted;
 }
 

@@ -49,8 +49,13 @@ class Cache {
   /// `count_stats=false` excludes the access from hit/miss statistics —
   /// used for page-walker traffic so that the reported "read miss rate"
   /// counts program accesses identically under every protection mode.
+  ///
+  /// `owner` attributes the access to a requesting context (core id at
+  /// the shared L2/L3, always 0 for private levels); it feeds the
+  /// replacement hooks and the cross-owner eviction counter and never
+  /// changes hit/miss behaviour.
   bool access(Addr line, bool update_replacement = true,
-              bool count_stats = true);
+              bool count_stats = true, int owner = 0);
 
   /// Lookup with no side effects (no LRU update, no stats). The attack
   /// receivers use the *timed* path instead; probe() is for tests.
@@ -58,8 +63,9 @@ class Cache {
 
   /// Inserts a line, evicting if needed. Returns the evicted line (for
   /// inclusive back-invalidation) or nullopt if a free/duplicate way was
-  /// used. Filling a line already present just refreshes it.
-  std::optional<Addr> fill(Addr line);
+  /// used. Filling a line already present just refreshes it. `owner` is
+  /// recorded as the line's owning context.
+  std::optional<Addr> fill(Addr line, int owner = 0);
 
   /// Removes a line if present (clflush / back-invalidate). Returns
   /// whether it was present.
@@ -85,6 +91,17 @@ class Cache {
   /// the Prime+Probe receiver and tests).
   int set_of(Addr line) const {
     return static_cast<int>(line % static_cast<Addr>(num_sets_));
+  }
+
+  /// The context that filled a resident line, or -1 when absent (shared-
+  /// level attribution; tests and the cross-core attack harness).
+  int owner_of(Addr line) const;
+
+  /// Fills whose victim belonged to a different context — the remote-
+  /// eviction signal a spy observes at a shared level. Always 0 when
+  /// every requester passes owner 0 (single-core).
+  std::uint64_t cross_owner_evictions() const {
+    return cross_owner_evictions_;
   }
 
  private:
@@ -121,6 +138,7 @@ class Cache {
   mutable HitMiss stats_;
   mutable std::uint64_t pending_hits_ = 0;
   mutable std::uint64_t pending_misses_ = 0;
+  std::uint64_t cross_owner_evictions_ = 0;
 };
 
 }  // namespace safespec::memory

@@ -18,25 +18,44 @@ enum class ReplPolicy : std::uint8_t {
   kRandom,  ///< uniform random victim (deterministic via seeded Rng)
 };
 
-/// Per-set replacement metadata: one 64-bit stamp per way. For LRU the
-/// stamp is last-touch time, for FIFO it is fill time, for Random it is
-/// unused. The owner supplies a monotonically increasing `tick`.
+/// Per-set replacement metadata: one 64-bit stamp and one owner id per
+/// way. For LRU the stamp is last-touch time, for FIFO it is fill time,
+/// for Random it is unused. The owner supplies a monotonically increasing
+/// `tick`.
+///
+/// The `owner` parameter is the requesting context (core id in the
+/// multi-core simulator, 0 for single-core structures such as TLBs).
+/// None of the built-in policies let it influence the victim choice —
+/// that is what keeps cores=1 bit-identical to the historical behaviour —
+/// but it is recorded per way so context-aware policies (SHARP-style
+/// "never evict another context's line") and the shared-level attribution
+/// counters can see who owns each line.
 class ReplacementState {
  public:
   ReplacementState(ReplPolicy policy, int num_ways, std::uint64_t seed)
-      : policy_(policy), stamps_(num_ways, 0), rng_(seed) {}
+      : policy_(policy), stamps_(num_ways, 0), owners_(num_ways, 0),
+        rng_(seed) {}
 
-  /// Notes that `way` was touched (hit) at time `tick`.
-  void touch(int way, std::uint64_t tick) {
+  /// Notes that `way` was touched (hit) at time `tick` by `owner`. A hit
+  /// refreshes recency but does not transfer ownership: the line belongs
+  /// to the context that filled it.
+  void touch(int way, std::uint64_t tick, int owner = 0) {
+    (void)owner;
     if (policy_ == ReplPolicy::kLru) stamps_[way] = tick;
   }
 
-  /// Notes that `way` was (re)filled at time `tick`.
-  void fill(int way, std::uint64_t tick) { stamps_[way] = tick; }
+  /// Notes that `way` was (re)filled at time `tick` by `owner`.
+  void fill(int way, std::uint64_t tick, int owner = 0) {
+    stamps_[way] = tick;
+    owners_[way] = owner;
+  }
 
-  /// Chooses a victim way among `valid_ways` (bitmask of occupied ways;
-  /// the caller prefers invalid ways itself). All ways occupied here.
-  int victim(std::uint64_t /*tick*/) {
+  /// Chooses a victim way for a fill by `owner`. Only called when every
+  /// way of the set is occupied — the caller prefers invalid ways itself.
+  /// Ties on equal stamps resolve to the lowest way index (LRU/FIFO);
+  /// kRandom draws from the per-set seeded Rng and ignores stamps.
+  int victim(std::uint64_t /*tick*/, int owner = 0) {
+    (void)owner;
     if (policy_ == ReplPolicy::kRandom) {
       return static_cast<int>(rng_.below(stamps_.size()));
     }
@@ -48,11 +67,15 @@ class ReplacementState {
     return best;
   }
 
+  /// The context that filled `way` (see fill()).
+  int owner_of(int way) const { return owners_[way]; }
+
   ReplPolicy policy() const { return policy_; }
 
  private:
   ReplPolicy policy_;
   std::vector<std::uint64_t> stamps_;
+  std::vector<int> owners_;  ///< filling context per way
   Rng rng_;
 };
 

@@ -219,6 +219,15 @@ void MachineSpec::validate() const {
     throw std::invalid_argument("dib_lines must be non-negative (0 "
                                 "disables the decoded-instruction buffer)");
   }
+  if (c.cores < 1 || c.cores > 64) {
+    throw std::invalid_argument("cores must be in [1, 64], got " +
+                                std::to_string(c.cores));
+  }
+  if (c.cores > 1 && sampling.enabled()) {
+    throw std::invalid_argument(
+        "sampled simulation (sampling.fast_forward_interval > 0) supports "
+        "a single core only; set cores=1 or disable sampling");
+  }
 
   validate_cache(c.hierarchy.l1i);
   validate_cache(c.hierarchy.l1d);
@@ -299,6 +308,7 @@ std::string MachineSpec::to_json() const {
   w.field("allow_undersized_shadows", allow_undersized_shadows);
   w.field("map_text", map_text);
   w.field("trace", trace);
+  w.field("cores", c.cores);
 
   w.open("core");
   w.field("fetch_width", c.fetch_width);
@@ -423,6 +433,7 @@ MachineSpec MachineSpec::from_json(const std::string& text) {
   read_bool(doc, "allow_undersized_shadows", spec.allow_undersized_shadows);
   read_bool(doc, "map_text", spec.map_text);
   read_string(doc, "trace", spec.trace);
+  read_int(doc, "cores", c.cores);
 
   if (const Json* core = doc.find("core")) {
     read_int(*core, "fetch_width", c.fetch_width);
@@ -533,13 +544,19 @@ void MachineSpec::set(const std::string& key, const std::string& value) {
 
   if (key == "preset") {
     // Re-seed the whole micro-architecture from the named preset; the
-    // policy choice and address-space setup survive. Apply before other
-    // overrides so they edit the new preset.
+    // machine-level choices (policy, core count) and address-space setup
+    // survive. Apply before other overrides so they edit the new preset.
     const std::string keep_policy = c.policy;
+    const int keep_cores = c.cores;
     const MachineSpec fresh = machine_preset(value);
     preset = fresh.preset;
     core = fresh.core;
     core.policy = keep_policy;
+    core.cores = keep_cores;
+    return;
+  }
+  if (key == "cores") {
+    c.cores = to_int();
     return;
   }
   if (key == "policy") {
@@ -740,6 +757,11 @@ MachineBuilder MachineBuilder::from_preset(const std::string& name) {
 MachineBuilder& MachineBuilder::policy(const std::string& name) {
   policy::named_policy(name);  // throws with the registered list
   spec_.core.policy = name;
+  return *this;
+}
+
+MachineBuilder& MachineBuilder::cores(int n) {
+  spec_.core.cores = n;
   return *this;
 }
 

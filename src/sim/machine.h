@@ -81,7 +81,7 @@ struct MachineSpec {
   static MachineSpec from_json_file(const std::string& path);
 
   /// Applies one "key=value" override (the --set grammar). Dotted keys
-  /// address nested fields: policy=WFB-stall, rob_entries=64,
+  /// address nested fields: policy=WFB-stall, cores=2, rob_entries=64,
   /// l2.size_bytes=524288, shadow_dcache.entries=16,
   /// shadow_dcache.full_policy=stall, predictor.direction=perceptron,
   /// preset=embedded (re-seeds the core from that preset; apply first).
@@ -121,6 +121,8 @@ class MachineBuilder {
 
   /// Selects the protection policy by registry name.
   MachineBuilder& policy(const std::string& name);
+  /// Number of cores sharing the L2/L3 (see cpu::CoreConfig::cores).
+  MachineBuilder& cores(int n);
   /// Sizes all four shadow structures (d-side pair, i-side pair).
   MachineBuilder& shadow_entries(int dside, int iside);
   /// Full-table handling for all four shadow structures.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "sim/functional.h"
@@ -17,9 +18,34 @@ void SamplingSpec::validate() const {
   }
 }
 
-Simulator::Simulator(const cpu::CoreConfig& config, isa::Program program)
-    : program_(std::move(program)) {
-  core_ = std::make_unique<cpu::Core>(config, &program_, &mem_, &page_table_);
+Simulator::Simulator(const cpu::CoreConfig& config, isa::Program program) {
+  const int n = std::max(1, config.cores);
+  std::vector<isa::Program> programs;
+  programs.reserve(static_cast<std::size_t>(n));
+  for (int c = 1; c < n; ++c) programs.push_back(program);  // copies
+  programs.insert(programs.begin(), std::move(program));
+  build_cores(config, std::move(programs));
+}
+
+Simulator::Simulator(const cpu::CoreConfig& config,
+                     std::vector<isa::Program> programs) {
+  if (programs.empty()) {
+    throw std::invalid_argument("Simulator: at least one program required");
+  }
+  build_cores(config, std::move(programs));
+}
+
+void Simulator::build_cores(const cpu::CoreConfig& config,
+                            std::vector<isa::Program> programs) {
+  shared_levels_ = std::make_unique<memory::SharedLevels>(config.hierarchy);
+  ctx_.reserve(programs.size());
+  for (std::size_t c = 0; c < programs.size(); ++c) {
+    auto ctx = std::make_unique<CoreContext>(std::move(programs[c]));
+    ctx->core = std::make_unique<cpu::Core>(
+        config, &ctx->program, &ctx->mem, &ctx->page_table,
+        shared_levels_.get(), static_cast<int>(c));
+    ctx_.push_back(std::move(ctx));
+  }
 }
 
 Simulator::~Simulator() = default;
@@ -28,44 +54,114 @@ Simulator& Simulator::operator=(Simulator&&) noexcept = default;
 
 FunctionalEngine& Simulator::functional_engine() {
   if (!engine_) {
-    engine_ =
-        std::make_unique<FunctionalEngine>(&program_, &mem_, &page_table_);
+    engine_ = std::make_unique<FunctionalEngine>(
+        &ctx_[0]->program, &ctx_[0]->mem, &ctx_[0]->page_table);
   }
   return *engine_;
 }
 
 void Simulator::map_region(Addr base, std::uint64_t bytes,
                            memory::PagePerm perm) {
+  for (int c = 0; c < num_cores(); ++c) map_region_on(c, base, bytes, perm);
+}
+
+void Simulator::map_region_on(int c, Addr base, std::uint64_t bytes,
+                              memory::PagePerm perm) {
   const Addr first = page_of(base);
   const Addr last = page_of(base + (bytes == 0 ? 0 : bytes - 1));
   for (Addr page = first; page <= last; ++page) {
-    mem_.map_page(page, perm);
-    page_table_.map_identity(page,
-                             perm == memory::PagePerm::kKernel);
+    mem(c).map_page(page, perm);
+    ctx_[c]->page_table.map_identity(page,
+                                     perm == memory::PagePerm::kKernel);
   }
 }
 
 void Simulator::map_text() {
-  for (const Addr pc : program_.pcs()) {
-    const Addr page = page_of(pc);
-    if (!mem_.is_mapped(page)) {
-      mem_.map_page(page, memory::PagePerm::kUser);
-      page_table_.map_identity(page, /*kernel_only=*/false);
+  for (const auto& ctx : ctx_) {
+    for (const Addr pc : ctx->program.pcs()) {
+      const Addr page = page_of(pc);
+      if (!ctx->mem.is_mapped(page)) {
+        ctx->mem.map_page(page, memory::PagePerm::kUser);
+        ctx->page_table.map_identity(page, /*kernel_only=*/false);
+      }
     }
   }
 }
 
+void Simulator::poke(Addr addr, std::uint64_t value) {
+  for (const auto& ctx : ctx_) ctx->mem.write64(addr, value);
+}
+
 SimResult Simulator::run(Cycle max_cycles, std::uint64_t max_instrs) {
-  const auto stop = core_->run(max_cycles, max_instrs);
+  // cores=1 delegates to the historical single-core loop — the
+  // bit-identity guarantee for every golden CSV and perf cell.
+  const auto stop = ctx_.size() == 1
+                        ? ctx_[0]->core->run(max_cycles, max_instrs)
+                        : run_multi(max_cycles, max_instrs);
   return snapshot(stop);
+}
+
+cpu::StopReason Simulator::run_multi(Cycle max_cycles,
+                                     std::uint64_t max_instrs) {
+  cpu::Core& primary = *ctx_[0]->core;
+  const std::uint64_t committed_at_start = primary.stats().committed_instrs;
+
+  // Per-core scheduler state; the wedge backstop mirrors Core::run's
+  // (nothing committed for a long time => malformed program).
+  struct Sched {
+    bool done = false;
+    Cycle last_progress = 0;
+    std::uint64_t last_committed = 0;
+  };
+  std::vector<Sched> sched(ctx_.size());
+  for (std::size_t i = 0; i < ctx_.size(); ++i) {
+    sched[i].done = ctx_[i]->core->finished();
+    sched[i].last_committed = ctx_[i]->core->stats().committed_instrs;
+  }
+  const auto all_done = [&] {
+    for (const Sched& s : sched) {
+      if (!s.done) return false;
+    }
+    return true;
+  };
+
+  // One global schedule cycle steps every live core once, core 0 first —
+  // fully deterministic. The cycle budget bounds *schedule* cycles, so a
+  // spinning secondary core cannot outlive it after core 0 finishes.
+  Cycle t = 0;
+  while (!all_done()) {
+    if (t >= max_cycles) return cpu::StopReason::kMaxCycles;
+    if (primary.stats().committed_instrs - committed_at_start >= max_instrs) {
+      return cpu::StopReason::kMaxInstrs;
+    }
+    for (std::size_t i = 0; i < ctx_.size(); ++i) {
+      if (sched[i].done) continue;
+      cpu::Core& core = *ctx_[i]->core;
+      core.step();
+      const std::uint64_t committed = core.stats().committed_instrs;
+      if (committed != sched[i].last_committed) {
+        sched[i].last_committed = committed;
+        sched[i].last_progress = t;
+      } else if (t - sched[i].last_progress > 100'000) {
+        sched[i].done = true;  // wedged
+      }
+      if (core.finished()) sched[i].done = true;
+    }
+    ++t;
+  }
+  // Every core ran to rest: report the primary core's fate. A halted
+  // core carries its own reason (set at the halt/fault commit site); a
+  // finished-or-wedged one never reached a halt.
+  return primary.halted() ? primary.stop_reason()
+                          : cpu::StopReason::kFaultNoHandler;
 }
 
 void Simulator::restore(const ArchCheckpoint& cp) {
   // The fast path records no delta (functional engine and core share
-  // mem_, so stores are already applied); re-applying new values is
-  // idempotent either way.
-  for (const auto& w : cp.mem_delta) mem_.write64(w.addr, w.new_value);
-  core_->restore_arch(cp.regs, cp.pc);
+  // core 0's memory, so stores are already applied); re-applying new
+  // values is idempotent either way.
+  for (const auto& w : cp.mem_delta) ctx_[0]->mem.write64(w.addr, w.new_value);
+  ctx_[0]->core->restore_arch(cp.regs, cp.pc);
 }
 
 SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
@@ -74,6 +170,12 @@ SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
   // Disabled sampling is *exactly* the detailed run — the golden/ff=0
   // guarantee: bit-identical cycle counts.
   if (!spec.enabled()) return run(max_cycles, max_instrs);
+  if (ctx_.size() > 1) {
+    throw std::invalid_argument(
+        "sampled simulation (fast_forward_interval > 0) supports a single "
+        "core only; run cores>1 machines in detailed mode");
+  }
+  cpu::Core& core0 = *ctx_[0]->core;
 
   // Cached engine: predecode is paid once per simulator; reset() makes
   // this call's behaviour bit-identical to a freshly built engine.
@@ -94,11 +196,11 @@ SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
   // account). Decrements the shared cycle/instruction budgets.
   const auto detail_segment = [&](std::uint64_t n, std::uint64_t& commits,
                                   Cycle& cycles) {
-    const std::uint64_t c0 = core_->stats().committed_instrs;
-    const Cycle y0 = core_->stats().cycles;
-    const auto seg_stop = core_->run(cycles_left, n);
-    commits = core_->stats().committed_instrs - c0;
-    cycles = core_->stats().cycles - y0;
+    const std::uint64_t c0 = core0.stats().committed_instrs;
+    const Cycle y0 = core0.stats().cycles;
+    const auto seg_stop = core0.run(cycles_left, n);
+    commits = core0.stats().committed_instrs - c0;
+    cycles = core0.stats().cycles - y0;
     cycles_left = cycles >= cycles_left ? 0 : cycles_left - cycles;
     remaining -= std::min(commits, remaining);
     return seg_stop;
@@ -155,31 +257,35 @@ SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
     ArchCheckpoint cp;
     for (int r = 0; r < kNumArchRegs; ++r) {
       cp.regs[static_cast<std::size_t>(r)] =
-          core_->reg(static_cast<RegIndex>(r));
+          core0.reg(static_cast<RegIndex>(r));
     }
-    cp.pc = core_->next_commit_pc();
+    cp.pc = core0.next_commit_pc();
     // Keep the engine's counters global (fast-forwarded + detailed) so
     // checkpoints and kRdCycle stay monotone across windows.
-    cp.committed = ff_commits + core_->stats().committed_instrs;
-    cp.faults = ff_faults + core_->stats().faults;
+    cp.committed = ff_commits + core0.stats().committed_instrs;
+    cp.faults = ff_faults + core0.stats().faults;
     cp.started = true;
     engine.restore(cp);
   }
 
-  if (!ipc_samples.empty()) {
+  // The documented SamplingStats contract, keyed explicitly on the
+  // window count (ipc_samples grows in lockstep with s.windows): the
+  // mean needs one window; stddev/ci95 need at least two — with a single
+  // window the n-1 Bessel divisor would be a division by zero, and the
+  // contract says both stay exactly 0.0.
+  if (s.windows > 0) {
     double sum = 0.0;
     for (const double x : ipc_samples) sum += x;
-    s.ipc_mean = sum / static_cast<double>(ipc_samples.size());
-    if (ipc_samples.size() >= 2) {
-      double sq = 0.0;
-      for (const double x : ipc_samples) {
-        sq += (x - s.ipc_mean) * (x - s.ipc_mean);
-      }
-      s.ipc_stddev =
-          std::sqrt(sq / static_cast<double>(ipc_samples.size() - 1));
-      s.ipc_ci95 = 1.96 * s.ipc_stddev /
-                   std::sqrt(static_cast<double>(ipc_samples.size()));
+    s.ipc_mean = sum / static_cast<double>(s.windows);
+  }
+  if (s.windows >= 2) {
+    double sq = 0.0;
+    for (const double x : ipc_samples) {
+      sq += (x - s.ipc_mean) * (x - s.ipc_mean);
     }
+    s.ipc_stddev = std::sqrt(sq / static_cast<double>(s.windows - 1));
+    s.ipc_ci95 =
+        1.96 * s.ipc_stddev / std::sqrt(static_cast<double>(s.windows));
   }
   s.fast_forwarded = ff_commits;
 
@@ -187,6 +293,7 @@ SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
   // Core stats cover only the detailed windows; fold in the
   // fast-forwarded instructions and the faults the engine handled.
   r.committed_instrs += ff_commits;
+  r.committed_all_cores += ff_commits;
   r.faults += ff_faults;
   if (s.windows > 0) r.ipc = s.ipc_mean;  // sampled point estimate
   r.sampling = s;
@@ -194,12 +301,17 @@ SimResult Simulator::run_sampled(const SamplingSpec& spec, Cycle max_cycles,
 }
 
 SimResult Simulator::snapshot(cpu::StopReason stop) const {
-  const cpu::Core& core = *core_;
+  const cpu::Core& core = *ctx_[0]->core;
   SimResult r;
   r.stop = stop;
   r.cycles = core.stats().cycles;
   r.committed_instrs = core.stats().committed_instrs;
   r.ipc = core.stats().ipc();
+
+  for (const auto& ctx : ctx_) {
+    r.committed_all_cores += ctx->core->stats().committed_instrs;
+  }
+  r.cross_core_evictions = shared_levels_->cross_core_evictions();
 
   r.dcache_accesses = core.hierarchy().l1d().stats().accesses();
   r.dcache_misses = core.hierarchy().l1d().stats().misses.value();

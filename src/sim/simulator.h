@@ -1,11 +1,22 @@
-// High-level run harness: wires a Program, MainMemory, PageTable and Core
-// together, provides address-space setup helpers, and extracts the result
-// summary the benchmarks and examples consume.
+// High-level run harness: wires Programs, MainMemories, PageTables and
+// cpu::Cores together, provides address-space setup helpers, and extracts
+// the result summary the benchmarks and examples consume.
+//
+// Multi-core model: the simulator owns one context (program copy, private
+// memory image, page table, core with private L1s/TLBs/shadows) per core,
+// plus one memory::SharedLevels holding the L2/L3 every core attaches to.
+// Cores advance under a deterministic round-robin interleaving: one cycle
+// per live core per global cycle, core 0 first. Each core runs its own
+// program against its own architectural memory — a private "process" — so
+// per-core architectural state is independent of the interleaving and
+// only *timing* couples cores (through the shared levels). cores=1 keeps
+// the exact historical single-core run loop.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 #include "cpu/core.h"
@@ -50,7 +61,8 @@ struct SamplingSpec {
 /// Sampled-run accounting attached to SimResult. The IPC estimate is the
 /// mean of per-window IPC samples; ipc_ci95 is the +/- half-width of the
 /// 95% confidence interval on that mean (normal approximation,
-/// 1.96 * stddev / sqrt(windows); zero when fewer than two windows).
+/// 1.96 * stddev / sqrt(windows); stddev and ci95 are exactly zero when
+/// fewer than two windows were measured — one sample has no dispersion).
 struct SamplingStats {
   bool enabled = false;
   std::uint64_t windows = 0;             ///< measured detail windows
@@ -64,12 +76,19 @@ struct SamplingStats {
 };
 
 /// Everything the figures need from one run, flattened out of the core's
-/// structures.
+/// structures. Per-core counters describe core 0 (the primary core);
+/// `committed_all_cores` and `cross_core_evictions` aggregate over the
+/// whole machine (equal to committed_instrs / 0 at cores=1).
 struct SimResult {
   cpu::StopReason stop = cpu::StopReason::kMaxCycles;
   Cycle cycles = 0;
   std::uint64_t committed_instrs = 0;
   double ipc = 0.0;
+
+  /// Sum of committed instructions over every core (machine throughput).
+  std::uint64_t committed_all_cores = 0;
+  /// Shared-level (L2+L3) fills that evicted another core's line.
+  std::uint64_t cross_core_evictions = 0;
 
   // d-cache (Fig 12/13): reads only; miss rate "including the shadow".
   std::uint64_t dcache_accesses = 0;
@@ -129,25 +148,48 @@ struct SimResult {
 /// Owns the full simulated machine for one experiment.
 class Simulator {
  public:
+  /// Homogeneous machine: config.cores cores (≥1), each running its own
+  /// copy of `program` against a private memory image, sharing the L2/L3.
   Simulator(const cpu::CoreConfig& config, isa::Program program);
+  /// Heterogeneous machine (cross-core attack harnesses): one core per
+  /// program in `programs` (must be non-empty); config.cores is ignored.
+  Simulator(const cpu::CoreConfig& config,
+            std::vector<isa::Program> programs);
   // Out of line: FunctionalEngine is incomplete here. The explicit
   // destructor would otherwise suppress the moves tests rely on.
   ~Simulator();
   Simulator(Simulator&&) noexcept;
   Simulator& operator=(Simulator&&) noexcept;
 
-  /// Maps [base, base+bytes) as user or kernel pages, identity-translated.
+  int num_cores() const { return static_cast<int>(ctx_.size()); }
+
+  /// Maps [base, base+bytes) as user or kernel pages, identity-translated
+  /// — in every core's address space (the homogeneous setup path).
   void map_region(Addr base, std::uint64_t bytes,
                   memory::PagePerm perm = memory::PagePerm::kUser);
+  /// Same, in core `c`'s address space only.
+  void map_region_on(int c, Addr base, std::uint64_t bytes,
+                     memory::PagePerm perm = memory::PagePerm::kUser);
 
-  /// Convenience: map the pages every instruction of the program sits on.
+  /// Convenience: in each core's address space, map the pages every
+  /// instruction of that core's program sits on.
   void map_text();
 
-  /// Writes a 64-bit value into architectural memory (pre-run setup).
-  void poke(Addr addr, std::uint64_t value) { mem_.write64(addr, value); }
-  std::uint64_t peek(Addr addr) const { return mem_.read64(addr); }
+  /// Writes a 64-bit value into every core's architectural memory
+  /// (pre-run setup; the images are private per core).
+  void poke(Addr addr, std::uint64_t value);
+  /// Core-targeted variants (cross-core attack setup / inspection).
+  void poke_on(int c, Addr addr, std::uint64_t value) {
+    mem(c).write64(addr, value);
+  }
+  std::uint64_t peek(Addr addr) const { return mem(0).read64(addr); }
+  std::uint64_t peek_on(int c, Addr addr) const { return mem(c).read64(addr); }
 
   /// Runs to completion (halt/fault/budget) and snapshots the result.
+  /// Multi-core: cores step round-robin (core 0 first) until every core
+  /// is finished or a budget trips; `max_cycles` bounds global schedule
+  /// cycles and `max_instrs` bounds core 0's committed instructions; the
+  /// stop reason reports core 0's fate.
   SimResult run(Cycle max_cycles = 50'000'000,
                 std::uint64_t max_instrs = ~0ULL);
 
@@ -156,7 +198,8 @@ class Simulator {
   /// and core. With `spec` disabled (fast_forward_interval == 0) this is
   /// exactly run() — bit-identical cycle counts. `max_cycles` bounds the
   /// *detailed* cycles only (the functional engine has no clock);
-  /// `max_instrs` bounds total architectural instructions.
+  /// `max_instrs` bounds total architectural instructions. Single-core
+  /// only: throws std::invalid_argument when enabled at cores>1.
   SimResult run_sampled(const SamplingSpec& spec,
                         Cycle max_cycles = 50'000'000,
                         std::uint64_t max_instrs = ~0ULL);
@@ -171,36 +214,68 @@ class Simulator {
   const SamplingSpec& sampling() const { return sampling_; }
   void set_sampling(const SamplingSpec& spec) { sampling_ = spec; }
 
-  /// Restores a functional-engine checkpoint into the detailed machine:
-  /// applies the memory delta (if any), installs the register file, and
-  /// restarts the core at cp.pc. Microarchitectural warming state
-  /// survives, as in Core::restart_at.
+  /// Restores a functional-engine checkpoint into the detailed machine
+  /// (core 0): applies the memory delta (if any), installs the register
+  /// file, and restarts the core at cp.pc. Microarchitectural warming
+  /// state survives, as in Core::restart_at.
   void restore(const ArchCheckpoint& cp);
 
-  cpu::Core& core() { return *core_; }
-  const cpu::Core& core() const { return *core_; }
-  memory::MainMemory& memory() { return mem_; }
-  const memory::MainMemory& memory() const { return mem_; }
-  memory::PageTable& page_table() { return page_table_; }
-  const isa::Program& program() const { return program_; }
+  cpu::Core& core() { return *ctx_[0]->core; }
+  const cpu::Core& core() const { return *ctx_[0]->core; }
+  cpu::Core& core(int c) { return *ctx_[c]->core; }
+  const cpu::Core& core(int c) const { return *ctx_[c]->core; }
+  memory::MainMemory& memory() { return mem(0); }
+  const memory::MainMemory& memory() const { return mem(0); }
+  memory::MainMemory& memory(int c) { return mem(c); }
+  const memory::MainMemory& memory(int c) const { return mem(c); }
+  memory::PageTable& page_table() { return ctx_[0]->page_table; }
+  memory::PageTable& page_table(int c) { return ctx_[c]->page_table; }
+  const isa::Program& program() const { return ctx_[0]->program; }
+  const isa::Program& program(int c) const { return ctx_[c]->program; }
+
+  /// The L2/L3 every core's hierarchy attaches to.
+  memory::SharedLevels& shared_levels() { return *shared_levels_; }
+  const memory::SharedLevels& shared_levels() const {
+    return *shared_levels_;
+  }
 
   /// Snapshot of the current statistics without running (used after
   /// driving core().step() manually in tests).
   SimResult snapshot(cpu::StopReason stop) const;
 
-  /// The simulator's functional engine, built (and its predecode pass
-  /// paid) on first use, then cached for the simulator's lifetime.
-  /// run_sampled resets it at the start of every call, so repeated
-  /// sampled runs behave exactly like the historical engine-per-call
-  /// code without re-predecoding. Harnesses that remap the page table
-  /// mid-experiment call invalidate_translations() on it, as ever.
+  /// The simulator's functional engine over core 0's context, built (and
+  /// its predecode pass paid) on first use, then cached for the
+  /// simulator's lifetime. run_sampled resets it at the start of every
+  /// call, so repeated sampled runs behave exactly like the historical
+  /// engine-per-call code without re-predecoding. Harnesses that remap
+  /// the page table mid-experiment call invalidate_translations() on it,
+  /// as ever.
   FunctionalEngine& functional_engine();
 
  private:
-  isa::Program program_;
-  memory::MainMemory mem_;
-  memory::PageTable page_table_;
-  std::unique_ptr<cpu::Core> core_;
+  /// One core's private world: program copy, architectural memory, page
+  /// table, and the core itself. Held by pointer so the core's borrowed
+  /// program/memory/page-table addresses survive Simulator moves.
+  struct CoreContext {
+    explicit CoreContext(isa::Program p) : program(std::move(p)) {}
+    isa::Program program;
+    memory::MainMemory mem;
+    memory::PageTable page_table;
+    std::unique_ptr<cpu::Core> core;
+  };
+
+  void build_cores(const cpu::CoreConfig& config,
+                   std::vector<isa::Program> programs);
+
+  /// The cores>1 run loop: deterministic round-robin, one cycle per live
+  /// core per global cycle, core 0 first.
+  cpu::StopReason run_multi(Cycle max_cycles, std::uint64_t max_instrs);
+
+  memory::MainMemory& mem(int c) { return ctx_[c]->mem; }
+  const memory::MainMemory& mem(int c) const { return ctx_[c]->mem; }
+
+  std::unique_ptr<memory::SharedLevels> shared_levels_;
+  std::vector<std::unique_ptr<CoreContext>> ctx_;
   std::unique_ptr<FunctionalEngine> engine_;  ///< lazy; see functional_engine()
   SamplingSpec sampling_;  ///< disabled unless set_sampling() enables it
 };

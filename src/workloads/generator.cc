@@ -50,7 +50,19 @@ WorkloadImage generate(const WorkloadProfile& profile,
             trace::record_workload(generate(inner, target_instrs)))));
   }
   if (!profile.trace_file.empty()) {
-    return trace::load_workload(profile.trace_file);
+    try {
+      return trace::load_workload(profile.trace_file);
+    } catch (const std::exception& e) {
+      // A missing or unreadable trace file is almost always a workload
+      // spelling mistake; name the file and the accepted grammar instead
+      // of surfacing the raw reader error alone.
+      throw std::runtime_error(
+          "workload trace \"" + profile.trace_file +
+          "\" could not be loaded: " + e.what() +
+          " (the trace axis accepts trace:PATH for a file recorded by "
+          "trace_record, or trace:@NAME for an in-memory round-trip of "
+          "the synthetic profile NAME)");
+    }
   }
   if (profile.code_blocks <= 0 || profile.block_len <= 0) {
     throw std::invalid_argument("generate: empty workload body");

@@ -354,7 +354,15 @@ WorkloadProfile profile_by_name(const std::string& name) {
           name);
     }
     if (arg[0] == '@') {
-      WorkloadProfile p = profile_by_name(arg.substr(1));
+      WorkloadProfile p;
+      try {
+        p = profile_by_name(arg.substr(1));
+      } catch (const std::out_of_range& e) {
+        throw std::out_of_range(
+            std::string(e.what()) +
+            " (in trace:@NAME, NAME must be a registered synthetic "
+            "profile; use trace:PATH to replay a trace file)");
+      }
       p.name = name;
       p.trace_file = "@";
       return p;

@@ -352,6 +352,33 @@ TEST(SampledSimulationTest, RunWorkloadHonorsSamplingSpec) {
   EXPECT_GE(r.committed_instrs, 50'000u);
 }
 
+/// Regression: a schedule that yields exactly one measured window used to
+/// be a divide-by-zero hazard in the sample-stddev path. One sample has
+/// no dispersion — stddev and ci95 must be exactly zero, never NaN.
+TEST(SampledSimulationTest, SingleWindowRunReportsZeroDispersion) {
+  const auto profile = workloads::profile_by_name("mcf");
+  const cpu::CoreConfig config = sim::machine_preset("skylake").core;
+  const std::uint64_t instrs = 10'000;
+
+  SamplingSpec spec;
+  spec.fast_forward_interval = 8'000;
+  spec.warmup_instrs = 500;
+  spec.detail_instrs = 1'000;
+
+  auto sim = workloads::make_workload_sim(profile, config, instrs);
+  const auto r = sim->run_sampled(spec, 50'000'000, instrs);
+
+  EXPECT_TRUE(r.sampling.enabled);
+  ASSERT_EQ(r.sampling.windows, 1u);
+  EXPECT_GT(r.sampling.ipc_mean, 0.0);
+  EXPECT_EQ(r.ipc, r.sampling.ipc_mean);
+  EXPECT_EQ(r.sampling.ipc_stddev, 0.0);
+  EXPECT_EQ(r.sampling.ipc_ci95, 0.0);
+  // NaN would poison both == comparisons above, but be explicit: the
+  // estimate itself must be a real number too.
+  EXPECT_EQ(r.ipc, r.ipc);
+}
+
 TEST(SampledSimulationTest, EnabledSpecWithZeroDetailWindowIsRejected) {
   SamplingSpec spec;
   spec.fast_forward_interval = 1'000;

@@ -231,6 +231,48 @@ TEST(MachineSpecValidate, RejectsEnabledSamplingWithZeroDetailWindow) {
   EXPECT_NO_THROW(spec.validate());
 }
 
+// ---- cores axis ------------------------------------------------------------
+
+TEST(MachineSpecJson, CoresRoundTripsAndDefaultsToOne) {
+  MachineSpec spec = sim::machine_preset("skylake");
+  spec.core.cores = 4;
+  const std::string json = spec.to_json();
+  const MachineSpec parsed = MachineSpec::from_json(json);
+  EXPECT_EQ(parsed.to_json(), json);
+  EXPECT_EQ(parsed.core.cores, 4);
+  // A document without the field stays single-core.
+  EXPECT_EQ(MachineSpec::from_json(R"({"preset": "skylake"})").core.cores, 1);
+}
+
+TEST(MachineSpecSet, CoresOverrideAndPresetReseedKeepsCores) {
+  MachineSpec spec;
+  spec.set("cores=2");
+  EXPECT_EQ(spec.core.cores, 2);
+  // preset= re-seeds the micro-architecture but cores is a machine-level
+  // choice and must survive, like policy does.
+  spec.set("preset=embedded");
+  EXPECT_EQ(spec.core.fetch_width, 2);
+  EXPECT_EQ(spec.core.cores, 2);
+  EXPECT_THROW(spec.set("cores=banana"), std::invalid_argument);
+}
+
+TEST(MachineSpecValidate, RejectsOutOfRangeCoresAndSampledMulticore) {
+  MachineSpec spec = sim::machine_preset("skylake");
+  spec.core.cores = 0;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.core.cores = 65;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.core.cores = 2;
+  EXPECT_NO_THROW(spec.validate());
+  // Sampling fast-forwards one architectural thread; it is single-core
+  // only and the combination must be rejected up front.
+  spec.sampling.fast_forward_interval = 10'000;
+  spec.sampling.detail_instrs = 1'000;
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.core.cores = 1;
+  EXPECT_NO_THROW(spec.validate());
+}
+
 TEST(MachineSpecSet, RejectsUnknownKeysAndBadValues) {
   MachineSpec spec;
   EXPECT_THROW(spec.set("no_such_field=1"), std::invalid_argument);

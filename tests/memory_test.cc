@@ -168,6 +168,68 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, ReplacementSweep,
                          ::testing::Values(ReplPolicy::kLru, ReplPolicy::kFifo,
                                            ReplPolicy::kRandom));
 
+// ---- ReplacementState: victim tie-breaks and owner attribution -------------
+
+TEST(Replacement, LruTieBreaksToLowestWay) {
+  ReplacementState repl(ReplPolicy::kLru, 4, /*seed=*/1);
+  for (int w = 0; w < 4; ++w) repl.fill(w, /*tick=*/10);
+  EXPECT_EQ(repl.victim(11), 0);  // equal stamps: lowest way index wins
+  repl.touch(0, 12);              // LRU: a hit rescues way 0
+  EXPECT_EQ(repl.victim(13), 1);
+}
+
+TEST(Replacement, FifoTieBreaksToLowestWayAndIgnoresTouches) {
+  ReplacementState repl(ReplPolicy::kFifo, 4, /*seed=*/1);
+  for (int w = 0; w < 4; ++w) repl.fill(w, /*tick=*/10);
+  EXPECT_EQ(repl.victim(11), 0);
+  repl.touch(0, 12);  // FIFO: hits never refresh the insertion stamp
+  EXPECT_EQ(repl.victim(13), 0);
+  repl.fill(0, 14);  // ...but a refill does
+  EXPECT_EQ(repl.victim(15), 1);
+}
+
+TEST(Replacement, OwnerRecordedOnFillNotOnTouch) {
+  ReplacementState repl(ReplPolicy::kLru, 2, /*seed=*/1);
+  repl.fill(0, 1, /*owner=*/3);
+  EXPECT_EQ(repl.owner_of(0), 3);
+  repl.touch(0, 2, /*owner=*/1);  // a remote hit does not transfer ownership
+  EXPECT_EQ(repl.owner_of(0), 3);
+  repl.fill(0, 3, /*owner=*/1);
+  EXPECT_EQ(repl.owner_of(0), 1);
+}
+
+TEST(Replacement, VictimChoiceIsOwnerBlind) {
+  // The owner input is attribution only: the policy must pick the same
+  // victim no matter which core asks, or cores=1 bit-identity would break
+  // the moment a second core shares the level.
+  ReplacementState repl(ReplPolicy::kLru, 4, /*seed=*/1);
+  repl.fill(0, 10, /*owner=*/0);
+  repl.fill(1, 11, /*owner=*/1);
+  repl.fill(2, 12, /*owner=*/0);
+  repl.fill(3, 13, /*owner=*/1);
+  EXPECT_EQ(repl.victim(14, /*owner=*/0), repl.victim(14, /*owner=*/1));
+  EXPECT_EQ(repl.victim(14, /*owner=*/1), 0);  // oldest fill, owner ignored
+}
+
+TEST(Cache, CrossOwnerEvictionAttribution) {
+  Cache c(small_cache());  // 4 ways, 16 sets: lines k*16 share set 0
+  for (Addr k = 0; k < 4; ++k) c.fill(k * 16, /*owner=*/0);
+  EXPECT_EQ(c.owner_of(0), 0);
+  EXPECT_EQ(c.cross_owner_evictions(), 0u);
+  // Owner 1 overflows the set: the LRU victim (line 0) belonged to owner 0.
+  const auto evicted = c.fill(4 * 16, /*owner=*/1);
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 0u);
+  EXPECT_EQ(c.owner_of(4 * 16), 1);
+  EXPECT_EQ(c.cross_owner_evictions(), 1u);
+}
+
+TEST(Cache, SameOwnerEvictionsAreNotCounted) {
+  Cache c(small_cache());
+  for (Addr k = 0; k < 6; ++k) c.fill(k * 16, /*owner=*/2);
+  EXPECT_EQ(c.cross_owner_evictions(), 0u);  // self-evictions don't count
+}
+
 // ---- CacheHierarchy ---------------------------------------------------------
 
 HierarchyConfig tiny_hierarchy() {
@@ -231,6 +293,53 @@ TEST(Hierarchy, L2EvictionBackInvalidatesL1) {
   EXPECT_FALSE(h.resident_l2(0));
   // Inclusion: line 0 must have been back-invalidated from L1D as well.
   EXPECT_FALSE(h.resident_l1(0, Side::kData));
+}
+
+// ---- SharedLevels: two private hierarchies over one L2/L3 ------------------
+
+TEST(SharedLevels, SharedFillIsVisibleToEveryAttachedCore) {
+  const HierarchyConfig cfg = tiny_hierarchy();
+  SharedLevels shared(cfg);
+  CacheHierarchy h0(cfg, &shared, /*owner=*/0);
+  CacheHierarchy h1(cfg, &shared, /*owner=*/1);
+  EXPECT_EQ(shared.num_attached(), 2);
+
+  h0.fill_all_levels(7, Side::kData);
+  EXPECT_TRUE(h0.resident_l1(7, Side::kData));
+  EXPECT_FALSE(h1.resident_l1(7, Side::kData));  // private level stays private
+  EXPECT_TRUE(h1.resident_l2(7));                // shared levels are one array
+  EXPECT_TRUE(h1.resident_l3(7));
+}
+
+TEST(SharedLevels, RemoteEvictionBackInvalidatesOtherCoresL1) {
+  const HierarchyConfig cfg = tiny_hierarchy();
+  SharedLevels shared(cfg);
+  CacheHierarchy h0(cfg, &shared, /*owner=*/0);
+  CacheHierarchy h1(cfg, &shared, /*owner=*/1);
+
+  h0.fill_all_levels(0, Side::kData);
+  // Core 1 overflows shared-L2 set 0 (4 ways): core 0's line is evicted
+  // from L2 and inclusion must back-invalidate it from core 0's L1 even
+  // though core 0 did nothing.
+  for (Addr k = 1; k <= 4; ++k) h1.fill_all_levels(k * 16, Side::kData);
+  EXPECT_FALSE(h0.resident_l2(0));
+  EXPECT_FALSE(h0.resident_l1(0, Side::kData));
+  EXPECT_GT(shared.cross_core_evictions(), 0u);
+}
+
+TEST(SharedLevels, FlushLineIsCoherenceGlobal) {
+  const HierarchyConfig cfg = tiny_hierarchy();
+  SharedLevels shared(cfg);
+  CacheHierarchy h0(cfg, &shared, /*owner=*/0);
+  CacheHierarchy h1(cfg, &shared, /*owner=*/1);
+
+  h0.fill_all_levels(7, Side::kData);
+  h1.fill_all_levels(7, Side::kData);
+  h1.flush_line(7);  // spy-side flush must reach the victim's L1 too
+  EXPECT_FALSE(h0.resident_l1(7, Side::kData));
+  EXPECT_FALSE(h1.resident_l1(7, Side::kData));
+  EXPECT_FALSE(h0.resident_l2(7));
+  EXPECT_FALSE(h0.resident_l3(7));
 }
 
 // ---- TLB --------------------------------------------------------------------

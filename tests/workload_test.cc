@@ -87,6 +87,43 @@ TEST(Generator, EmptyBodyRejected) {
   EXPECT_THROW(generate(p, 1000), std::invalid_argument);
 }
 
+// ---- trace:PATH / trace:@NAME error reporting ------------------------------
+
+/// Regression: a missing trace file used to surface only the raw reader
+/// error. The wrapper must name the offending path and teach both
+/// accepted spellings so a workload-axis typo is self-diagnosing.
+TEST(TraceWorkloads, MissingTraceFileNamesPathAndGrammar) {
+  const auto profile =
+      profile_by_name("trace:/nonexistent/definitely_missing.trace");
+  try {
+    generate(profile, 1'000);
+    FAIL() << "expected runtime_error for a missing trace file";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("/nonexistent/definitely_missing.trace"),
+              std::string::npos)
+        << what;
+    EXPECT_NE(what.find("trace:PATH"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace:@NAME"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceWorkloads, UnknownAtNameSuggestsBothSpellings) {
+  try {
+    profile_by_name("trace:@no_such_profile");
+    FAIL() << "expected out_of_range for an unknown trace:@NAME profile";
+  } catch (const std::out_of_range& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("no_such_profile"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace:@NAME"), std::string::npos) << what;
+    EXPECT_NE(what.find("trace:PATH"), std::string::npos) << what;
+  }
+}
+
+TEST(TraceWorkloads, EmptyTraceSpecRejected) {
+  EXPECT_THROW(profile_by_name("trace:"), std::out_of_range);
+}
+
 // Cross-product sweep: every profile must run to its halt (or instruction
 // budget) under every policy with a plausible IPC.
 struct SweepParam {

@@ -59,6 +59,9 @@ void usage(const char* prog, std::FILE* out) {
       "  --threads=N       worker threads (default: hardware concurrency)\n"
       "  --policies=...    comma-separated policy subset (default: all)\n"
       "  --presets=...     comma-separated preset subset (default: all)\n"
+      "  --cores=N         cores per cell (default 1); every core runs the\n"
+      "                    seed's program on private memory under the\n"
+      "                    shared L2/L3, each checked against the oracle\n"
       "  --dump            disassemble each seed's program (use with a\n"
       "                    small --count when reproducing a failure)\n"
       "  --trace=FILE      with --dump: also record each seed's program,\n"
@@ -132,6 +135,12 @@ int main(int argc, char** argv) {
       config.policies = split_csv(value);
     } else if (flag_value(arg, "--presets", &value) || next_value("--presets")) {
       config.presets = split_csv(value);
+    } else if (flag_value(arg, "--cores", &value) || next_value("--cores")) {
+      config.cores = parse_int_arg(value, "--cores");
+      if (config.cores < 1 || config.cores > 64) {
+        std::fprintf(stderr, "--cores=%s is out of range (1..64)\n", value);
+        return 2;
+      }
     } else if (std::strcmp(arg, "--dump") == 0) {
       dump = true;
     } else if (flag_value(arg, "--trace", &value) || next_value("--trace")) {

@@ -32,16 +32,18 @@ namespace {
 struct Cell {
   std::string workload, policy, preset;
   std::string mode = "detailed";
+  int cores = 1;
   std::uint64_t committed_instrs = 0;
   std::uint64_t cycles = 0;
   double wall_ms = 0.0;
   double mips = 0.0;
 
-  /// "/mode" is appended only for non-detailed cells, so keys from
-  /// artifacts predating the mode axis keep matching their successors.
+  /// "/mode" and "/cores=N" are appended only when non-default, so keys
+  /// from artifacts predating those axes keep matching their successors.
   std::string key() const {
     std::string k = workload + "/" + policy + "/" + preset;
     if (mode != "detailed") k += "/" + mode;
+    if (cores > 1) k += "/cores=" + std::to_string(cores);
     return k;
   }
 };
@@ -72,9 +74,12 @@ std::vector<Cell> load_cells(const std::string& path) {
     c.workload = require(v, "workload", path).text;
     c.policy = require(v, "policy", path).text;
     c.preset = require(v, "preset", path).text;
-    // Optional: artifacts from before the mode axis have no "mode"
-    // member; they are all detailed cells.
+    // Optional: artifacts from before the mode/cores axes have no such
+    // members; they are all detailed single-core cells.
     if (const auto* mode = v.find("mode")) c.mode = mode->text;
+    if (const auto* cores = v.find("cores")) {
+      c.cores = static_cast<int>(safespec::json::as_u64(*cores, "cores"));
+    }
     c.committed_instrs = safespec::json::as_u64(
         require(v, "committed_instrs", path), "committed_instrs");
     c.cycles = safespec::json::as_u64(require(v, "cycles", path), "cycles");

@@ -54,6 +54,10 @@ struct Cell {
   std::string policy;
   std::string preset;
   std::string mode = "detailed";
+  /// Cores sharing the L2/L3 (cells grammar: a trailing "/cores=N").
+  /// Every core runs the workload on private memory; the figure of merit
+  /// counts committed instructions over all cores. Detailed mode only.
+  int cores = 1;
 };
 
 bool known_mode(const std::string& mode) {
@@ -66,6 +70,8 @@ bool known_mode(const std::string& mode) {
 /// a large code footprint stressing the i-side shadow (gcc), a
 /// branchy/squash-heavy control profile (exchange2), the kStall
 /// full-table path (WFB-stall), and the little "embedded" preset. The
+/// cores=2 cells exercise the multi-core path — round-robin scheduling
+/// and the shared L2/L3 with per-core owner attribution. The
 /// trace:@ cells run the same workloads through the trace codec round
 /// trip (cycle-identical to their synthetic twins by construction, so
 /// the perf_compare gate covers the trace frontend too). The trailing
@@ -81,6 +87,8 @@ std::vector<Cell> default_cells() {
       {"exchange2", "WFC", "skylake"},
       {"xalancbmk", "WFB-stall", "skylake"},
       {"mcf", "WFC", "embedded"},
+      {"mcf", "baseline", "skylake", "detailed", 2},
+      {"gcc", "WFC", "skylake", "detailed", 2},
       {"trace:@mcf", "baseline", "skylake"},
       {"trace:@exchange2", "WFC", "skylake"},
       {"mcf", "baseline", "skylake", "sampled"},
@@ -129,9 +137,11 @@ void usage(const char* prog, std::FILE* out) {
       "                   (default 1)\n"
       "  --out=FILE       JSON output path (default\n"
       "                   BENCH_sim_throughput.json; \"-\" suppresses it)\n"
-      "  --cells=...      comma-separated workload/policy/preset[/mode]\n"
-      "                   items; mode is detailed (default), sampled,\n"
-      "                   sampled-fast, or functional (default: a\n"
+      "  --cells=...      comma-separated items of the form\n"
+      "                   workload/policy/preset[/mode][/cores=N]; mode is\n"
+      "                   detailed (default), sampled, sampled-fast, or\n"
+      "                   functional; cores=N (detailed mode only) runs N\n"
+      "                   cores sharing the L2/L3 (default: a\n"
       "                   representative grid). Workloads accept trace\n"
       "                   spellings: trace:@NAME / trace:PATH\n"
       "  --set=key=value  override one machine field on every cell's\n"
@@ -155,23 +165,34 @@ std::vector<Cell> parse_cells(const std::string& text) {
     std::size_t comma = text.find(',', start);
     if (comma == std::string::npos) comma = text.size();
     const std::string item = text.substr(start, comma - start);
-    const std::size_t a = item.find('/');
-    const std::size_t b = a == std::string::npos ? a : item.find('/', a + 1);
-    if (a == std::string::npos || b == std::string::npos) {
-      std::fprintf(
-          stderr, "--cells item '%s' is not workload/policy/preset[/mode]\n",
-          item.c_str());
+    std::vector<std::string> parts;
+    std::size_t p = 0;
+    while (p <= item.size()) {
+      std::size_t slash = item.find('/', p);
+      if (slash == std::string::npos) slash = item.size();
+      parts.push_back(item.substr(p, slash - p));
+      if (slash == item.size()) break;
+      p = slash + 1;
+    }
+    if (parts.size() < 3 || parts.size() > 5 || parts[0].empty() ||
+        parts[1].empty() || parts[2].empty()) {
+      std::fprintf(stderr,
+                   "--cells item '%s' is not "
+                   "workload/policy/preset[/mode][/cores=N]\n",
+                   item.c_str());
       std::exit(2);
     }
-    const std::size_t c = item.find('/', b + 1);
     Cell cell;
-    cell.workload = item.substr(0, a);
-    cell.policy = item.substr(a + 1, b - a - 1);
-    if (c == std::string::npos) {
-      cell.preset = item.substr(b + 1);
-    } else {
-      cell.preset = item.substr(b + 1, c - b - 1);
-      cell.mode = item.substr(c + 1);
+    cell.workload = parts[0];
+    cell.policy = parts[1];
+    cell.preset = parts[2];
+    for (std::size_t extra = 3; extra < parts.size(); ++extra) {
+      if (parts[extra].rfind("cores=", 0) == 0) {
+        cell.cores = static_cast<int>(
+            parse_u64_arg(parts[extra].c_str() + 6, "--cells cores"));
+      } else {
+        cell.mode = parts[extra];
+      }
     }
     cells.push_back(std::move(cell));
     start = comma + 1;
@@ -199,6 +220,7 @@ CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat,
   if (!machine.trace.empty()) profile.trace_file = machine.trace;
   cpu::CoreConfig config = machine.core;
   config.policy = cell.policy;
+  config.cores = cell.cores;
 
   CellResult best;
   best.cell = cell;
@@ -241,7 +263,9 @@ CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat,
     const double wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (r == 0 || wall_ms < best.wall_ms) {
-      best.committed_instrs = result.committed_instrs;
+      // Multi-core cells count every core's committed work (equal to
+      // committed_instrs at cores=1, so historical artifacts compare).
+      best.committed_instrs = result.committed_all_cores;
       best.cycles = result.cycles;
       best.wall_ms = wall_ms;
       best.stop = cpu::to_string(result.stop);
@@ -273,11 +297,11 @@ void write_json(const std::string& path, std::uint64_t instrs, int repeat,
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"policy\": \"%s\", \"preset\": \"%s\","
-        " \"mode\": \"%s\","
+        " \"mode\": \"%s\", \"cores\": %d,"
         " \"committed_instrs\": %llu, \"cycles\": %llu,"
         " \"wall_ms\": %.3f, \"mips\": %.2f, \"stop\": \"%s\"",
         r.cell.workload.c_str(), r.cell.policy.c_str(),
-        r.cell.preset.c_str(), r.cell.mode.c_str(),
+        r.cell.preset.c_str(), r.cell.mode.c_str(), r.cell.cores,
         static_cast<unsigned long long>(r.committed_instrs),
         static_cast<unsigned long long>(r.cycles), r.wall_ms, r.mips(),
         r.stop);
@@ -376,6 +400,18 @@ int main(int argc, char** argv) {
                      cell.mode.c_str());
         return 2;
       }
+      if (cell.cores < 1 || cell.cores > 64) {
+        std::fprintf(stderr, "bad cell: cores=%d is out of range (1..64)\n",
+                     cell.cores);
+        return 2;
+      }
+      if (cell.cores > 1 && cell.mode != "detailed") {
+        std::fprintf(stderr,
+                     "bad cell: cores=%d needs detailed mode (sampled and "
+                     "functional runs are single-core)\n",
+                     cell.cores);
+        return 2;
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bad cell: %s\n", e.what());
@@ -389,10 +425,13 @@ int main(int argc, char** argv) {
   for (const Cell& cell : cells) {
     const CellResult r = run_cell(cell, instrs, repeat, sampling, overrides);
     const bool full_budget = std::strcmp(r.stop, "max-instrs") == 0;
+    const std::string mode_col =
+        cell.cores > 1 ? cell.mode + "/c" + std::to_string(cell.cores)
+                       : cell.mode;
     std::printf("perf: %-16s %-9s %-8s %-12s %9llu instrs %8llu Kcycles "
                 "%8.1f ms %7.2f MIPS%s%s",
                 cell.workload.c_str(), cell.policy.c_str(),
-                cell.preset.c_str(), cell.mode.c_str(),
+                cell.preset.c_str(), mode_col.c_str(),
                 static_cast<unsigned long long>(r.committed_instrs),
                 static_cast<unsigned long long>(r.cycles / 1000),
                 r.wall_ms, r.mips(), full_budget ? "" : " stop=",
