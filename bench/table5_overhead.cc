@@ -8,10 +8,17 @@
 //    suite (Figs 6-9), the performance-sufficient configuration.
 // Expected shape: Secure costs several times WFC; both are a modest
 // fraction of the baseline cache hierarchy.
+// The SHARP family's cost is estimated alongside for the same-harness
+// comparison (docs/mitigations.md): SHARP stores one owner id per cache
+// way (a tag extension read and written on the existing fill path) plus
+// an alarm counter per cache — no shadow structures at all. Owner ids
+// are sized for the MachineSpec maximum of 64 cores (6 bits).
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "experiment/experiment.h"
+#include "memory/cache_hierarchy.h"
 #include "model/cacti_lite.h"
 
 int main(int argc, char** argv) {
@@ -68,7 +75,49 @@ int main(int argc, char** argv) {
                 s.estimate.access_ns);
   }
 
-  // CSV/JSON trajectory: the overhead table itself.
+  // SHARP owner metadata: one owner id per way of every cache level
+  // (Table II geometry), direct-addressed by set/way — no CAM, no extra
+  // ports (it rides the existing fill/victim access).
+  constexpr int kOwnerBits = 6;  // MachineSpec caps cores at 64
+  const memory::HierarchyConfig h;
+  const struct {
+    const char* name;
+    const memory::CacheConfig* cache;
+  } levels[] = {{"L1I owner", &h.l1i},
+                {"L1D owner", &h.l1d},
+                {"L2 owner", &h.l2},
+                {"L3 owner", &h.l3}};
+  model::SramEstimate sharp_total;
+  std::vector<model::StructureReport> sharp_levels;
+  for (const auto& level : levels) {
+    model::SramParams params;
+    params.name = level.name;
+    params.entries = level.cache->size_bytes /
+                     static_cast<std::uint64_t>(level.cache->line_bytes);
+    params.bits_per_entry = kOwnerBits;
+    params.tag_bits = 0;
+    params.fully_associative = false;
+    const auto est = model::estimate(params);
+    sharp_levels.push_back({level.name, est});
+    sharp_total.area_mm2 += est.area_mm2;
+    sharp_total.dynamic_mw += est.dynamic_mw;
+    sharp_total.leakage_mw += est.leakage_mw;
+  }
+  const double base_power = base.dynamic_mw + base.leakage_mw;
+  std::printf("\n=== SHARP owner-metadata overhead at 40nm ===\n");
+  std::printf("%-10s %12s %10s %12s %10s\n", "", "Power (mW)", "Power (%)",
+              "Area (mm2)", "Area (%)");
+  std::printf("%-10s %12.2f %10.2f %12.4f %10.2f\n", "SHARP",
+              sharp_total.total_mw(), 100.0 * sharp_total.total_mw() / base_power,
+              sharp_total.area_mm2, 100.0 * sharp_total.area_mm2 / base.area_mm2);
+  for (const auto& s : sharp_levels) {
+    std::printf("  %-14s %8.2f mW %8.4f mm2\n", s.name.c_str(),
+                s.estimate.total_mw(), s.estimate.area_mm2);
+  }
+
+  // CSV/JSON trajectory: the overhead tables. The SHARP table is
+  // appended after the historical Table V so earlier golden content
+  // stays a byte-identical prefix.
   if (!opts.csv_path.empty() || !opts.json_path.empty()) {
     experiment::ResultTable table(
         "Table V: SafeSpec hardware overhead at 40nm",
@@ -79,7 +128,22 @@ int main(int argc, char** argv) {
     table.add_row("WFC",
                   {wfc_report.total_power_mw, wfc_report.power_percent,
                    wfc_report.total_area_mm2, wfc_report.area_percent});
-    experiment::write_files({&table}, opts);
+    experiment::ResultTable sharp_table(
+        "SHARP owner-metadata overhead at 40nm",
+        {"power_mw", "power_pct", "area_mm2", "area_pct"});
+    for (const auto& s : sharp_levels) {
+      sharp_table.add_row(s.name,
+                          {s.estimate.total_mw(),
+                           100.0 * s.estimate.total_mw() / base_power,
+                           s.estimate.area_mm2,
+                           100.0 * s.estimate.area_mm2 / base.area_mm2});
+    }
+    sharp_table.add_row("SHARP total",
+                        {sharp_total.total_mw(),
+                         100.0 * sharp_total.total_mw() / base_power,
+                         sharp_total.area_mm2,
+                         100.0 * sharp_total.area_mm2 / base.area_mm2});
+    experiment::write_files({&table, &sharp_table}, opts);
   }
   return 0;
 }

@@ -96,6 +96,10 @@ struct AttackOutcome {
   /// core. Zero for the single-core PoCs; the cross-core variants report
   /// the contention their spy activity caused at the shared L2/L3.
   std::uint64_t cross_core_evictions = 0;
+  /// SHARP-family telemetry (SimResult::sharp_alarms /
+  /// sharp_detections); zero under every other policy.
+  std::uint64_t sharp_alarms = 0;
+  std::uint64_t sharp_detections = 0;
   std::string detail;
 };
 

@@ -99,6 +99,18 @@ AttackOutcome run_cross_core_flush_reload(const std::string& policy,
 /// architectural).
 AttackOutcome run_cross_core_evict(const std::string& policy, int secret);
 
+/// Cross-core prime sweep against the SHARP detector: the victim
+/// (core 0) first fills every set of a deliberately shrunken shared
+/// L2/L3 with its own lines, then the spy (core 1) sweeps an aliased
+/// region trying to take the whole hierarchy over — the textbook
+/// Prime+Probe preparation. There is no secret; the outcome reports the
+/// telemetry: under "SHARP" every spy fill into a fully victim-owned
+/// set is a forced cross-owner eviction (one alarm per set, enough to
+/// cross the scaled-down detector threshold), under "detect-only" every
+/// cross-owner eviction alarms, and under the shadow policies the sweep
+/// proceeds silently (alarms = 0) because nothing watches replacement.
+AttackOutcome run_cross_core_prime_detect(const std::string& policy);
+
 /// Shadow-structure contention probe: core 0 runs a speculation storm
 /// (mistrained branches with wrong-path load chains) while core 1 halts
 /// almost immediately (its only shadow activity is the page-table walk
@@ -121,7 +133,8 @@ struct ShadowContentionOutcome {
 ShadowContentionOutcome run_cross_core_shadow_contention(
     const std::string& policy);
 
-/// Runs both cross-core leakage PoCs under `policy` (secrets fixed).
+/// Runs the cross-core PoCs under `policy`: flush+reload and eviction
+/// mistraining (secrets fixed), then the prime/detect sweep.
 std::vector<AttackOutcome> run_cross_core_attacks(const std::string& policy);
 
 /// Runs every table-III/IV attack under `policy` (secrets fixed by seed).

@@ -148,8 +148,11 @@ AttackOutcome finish(const char* name, const std::string& policy, int secret,
   out.leaked = result.stop == cpu::StopReason::kHalted &&
                sim.core(1).halted() && clearly_leaked(rx, secret);
   out.cross_core_evictions = sim.shared_levels().cross_core_evictions();
+  out.sharp_alarms = result.sharp_alarms;
+  out.sharp_detections = result.sharp_detections;
   std::ostringstream oss;
-  oss << describe(rx) << " xevict=" << out.cross_core_evictions;
+  oss << describe(rx) << " xevict=" << out.cross_core_evictions
+      << " alarms=" << out.sharp_alarms;
   out.detail = oss.str();
   return out;
 }
@@ -236,6 +239,72 @@ AttackOutcome run_cross_core_evict(const std::string& policy, int secret) {
 
   const auto result = sim.run();
   return finish("cross-core-evict", policy, secret, sim, result);
+}
+
+AttackOutcome run_cross_core_prime_detect(const std::string& policy) {
+  // Shrink the shared levels so a short sweep fills every set: the spy
+  // then has to face sets that are *completely* victim-owned, which is
+  // the situation SHARP's forced-eviction alarm exists for. The detector
+  // threshold scales down with the hierarchy (the exemplar's 2,000
+  // alarms/epoch matches a full-size cache being swept set by set).
+  auto config = attack_config(policy);
+  config.hierarchy.l2.size_bytes = 32 * 1024;  // 128 sets x 4 ways
+  config.hierarchy.l3.size_bytes = 64 * 1024;  // 64 sets x 16 ways
+  config.sharp_alarm_threshold = 50;
+
+  const std::int64_t sweep_bytes = 64 * 1024;  // one full L3 of lines
+  const std::int64_t lines = sweep_bytes / config.hierarchy.l3.line_bytes;
+  constexpr Addr kVictimSweep = 0x9000000;
+  constexpr Addr kSpySweep = 0x8000000;
+
+  const auto emit_sweep = [&](ProgramBuilder& b, const std::string& tag,
+                              Addr base) {
+    b.movi(kRegV1, static_cast<std::int64_t>(base));
+    b.movi(kRegV2, 0);
+    b.label(tag);
+    b.load(kRegV3, kRegV1, 0);
+    b.alui(AluOp::kAdd, kRegV1, kRegV1, 64);
+    b.alui(AluOp::kAdd, kRegV2, kRegV2, 1);
+    b.movi(kRegV4, lines);
+    b.branch(CondOp::kLt, kRegV2, kRegV4, tag);
+    b.fence();
+  };
+
+  ProgramBuilder v(Layout::kText);
+  emit_sweep(v, "v_sweep", kVictimSweep);
+  v.halt();
+  auto victim = v.build();
+  victim.set_entry(Layout::kText);
+
+  ProgramBuilder s(Layout::kText);
+  emit_wait_until(s, "p_spy_wait", kSpyAt);
+  emit_sweep(s, "p_sweep", kSpySweep);
+  s.halt();
+  auto spy = s.build();
+  spy.set_entry(Layout::kText);
+
+  std::vector<isa::Program> programs;
+  programs.push_back(std::move(victim));
+  programs.push_back(std::move(spy));
+  sim::Simulator sim(config, std::move(programs));
+  map_attack_regions(sim);
+  sim.map_region(kVictimSweep, static_cast<std::uint64_t>(sweep_bytes));
+  sim.map_region(kSpySweep, static_cast<std::uint64_t>(sweep_bytes));
+
+  const auto result = sim.run();
+  AttackOutcome out;
+  out.name = "cross-core-prime-detect";
+  out.policy = policy;
+  out.leaked = false;  // no secret: the signal here is the telemetry
+  out.cross_core_evictions = sim.shared_levels().cross_core_evictions();
+  out.sharp_alarms = result.sharp_alarms;
+  out.sharp_detections = result.sharp_detections;
+  std::ostringstream oss;
+  oss << "xevict=" << out.cross_core_evictions
+      << " alarms=" << out.sharp_alarms
+      << " detections=" << out.sharp_detections;
+  out.detail = oss.str();
+  return out;
 }
 
 ShadowContentionOutcome run_cross_core_shadow_contention(
@@ -344,6 +413,7 @@ std::vector<AttackOutcome> run_cross_core_attacks(const std::string& policy) {
   std::vector<AttackOutcome> out;
   out.push_back(run_cross_core_flush_reload(policy, 0xAD));
   out.push_back(run_cross_core_evict(policy, 0x5C));
+  out.push_back(run_cross_core_prime_detect(policy));
   return out;
 }
 

@@ -24,13 +24,17 @@ namespace {
 constexpr int kFetchBufferCap = 48;
 
 /// Resolves the configured policy name and applies its full-table
-/// handling override to every shadow structure before anything is built.
+/// handling override to every shadow structure — and its cache-level
+/// protection (SHARP family) to every hierarchy level — before anything
+/// is built. The Simulator applies the same hierarchy tune when it
+/// constructs the shared L2/L3, so private and shared levels agree.
 CoreConfig tuned_config(CoreConfig c) {
   const auto& p = policy::named_policy(c.policy);
   p.tune(c.shadow_dcache);
   p.tune(c.shadow_icache);
   p.tune(c.shadow_dtlb);
   p.tune(c.shadow_itlb);
+  p.tune(c.hierarchy, c.sharp_alarm_threshold, c.sharp_alarm_epoch);
   return c;
 }
 }  // namespace

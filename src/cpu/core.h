@@ -117,6 +117,15 @@ struct CoreConfig {
   shadow::ShadowConfig shadow_dtlb{.name = "shadow-dtlb", .entries = 72};
   shadow::ShadowConfig shadow_itlb{.name = "shadow-itlb", .entries = 224};
 
+  // ---- SHARP detector --------------------------------------------------
+  /// Alarms within one epoch before the SHARP detector flags a detection
+  /// (the exemplar's 2,000-alarms-per-epoch recommendation), and the
+  /// epoch length in replacement stamps. Applied to every cache level by
+  /// the policy's hierarchy tune(); inert unless the policy selects a
+  /// CacheProtection (SHARP / detect-only).
+  std::uint64_t sharp_alarm_threshold = 2000;
+  std::uint64_t sharp_alarm_epoch = 1'000'000'000;
+
   /// Mutation-testing defect injection (see MutationHooks).
   MutationHooks mutation;
 };

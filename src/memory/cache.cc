@@ -72,14 +72,38 @@ std::optional<Addr> Cache::fill(Addr line, int owner) {
       return std::nullopt;
     }
   }
-  // Evict.
-  const int victim = repl_[set].victim(tick_, owner);
-  if (repl_[set].owner_of(victim) != owner) ++cross_owner_evictions_;
+  // Evict. Under kSharp the victim prefers requester-owned ways and a
+  // forced cross-owner eviction raises an alarm; kDetectOnly keeps the
+  // owner-blind choice (timing identical to kNone) but alarms on every
+  // cross-owner eviction it observes.
+  int victim;
+  bool forced = false;
+  if (config_.protection == CacheProtection::kSharp) {
+    const VictimChoice choice = repl_[set].protected_victim(tick_, owner);
+    victim = choice.way;
+    forced = choice.forced;
+  } else {
+    victim = repl_[set].victim(tick_, owner);
+  }
+  if (repl_[set].owner_of(victim) != owner) {
+    ++cross_owner_evictions_;
+    if (config_.protection == CacheProtection::kDetectOnly) record_alarm();
+  }
+  if (forced) record_alarm();
   Way& way = ways_[base + victim];
   const Addr evicted = way.tag;
   way.tag = line;
   repl_[set].fill(victim, tick_, owner);
   return evicted;
+}
+
+void Cache::record_alarm() {
+  ++sharp_alarms_;
+  if (tick_ - epoch_start_tick_ >= config_.alarm_epoch_ticks) {
+    epoch_start_tick_ = tick_;
+    epoch_alarms_ = 0;
+  }
+  if (++epoch_alarms_ == config_.alarm_threshold) ++sharp_detections_;
 }
 
 bool Cache::invalidate(Addr line) {

@@ -27,6 +27,16 @@ struct CacheConfig {
   ReplPolicy policy = ReplPolicy::kLru;
   std::uint64_t seed = 1;  ///< for kRandom replacement
 
+  /// Victim-selection protection (SHARP / detect-only). kNone for every
+  /// pre-existing policy; the ProtectionPolicy's tune() sets it.
+  CacheProtection protection = CacheProtection::kNone;
+  /// SHARP detector: alarms within one epoch before a detection fires.
+  /// The exemplar recommends 2,000 alarms per epoch.
+  std::uint64_t alarm_threshold = 2000;
+  /// Epoch length in replacement stamps (tick_ advances once per stamping
+  /// access — an access-count proxy for the exemplar's cycle epoch).
+  std::uint64_t alarm_epoch_ticks = 1'000'000'000;
+
   int num_sets() const {
     return static_cast<int>(size_bytes / (static_cast<std::uint64_t>(ways) *
                                           line_bytes));
@@ -104,6 +114,15 @@ class Cache {
     return cross_owner_evictions_;
   }
 
+  /// SHARP alarms: under kSharp, fills forced to evict across owners
+  /// (no requester-owned way in the set); under kDetectOnly, every
+  /// cross-owner eviction. Always 0 under kNone.
+  std::uint64_t sharp_alarms() const { return sharp_alarms_; }
+
+  /// Epochs in which the alarm count crossed config().alarm_threshold —
+  /// the detector's "an attack is likely in progress" signal.
+  std::uint64_t sharp_detections() const { return sharp_detections_; }
+
  private:
   struct Way {
     Addr tag = 0;
@@ -111,6 +130,12 @@ class Cache {
   };
 
   int find_way(int set, Addr line) const;
+
+  /// Bumps the alarm counter and rolls the detector epoch lazily: when
+  /// the stamp clock has moved past the current epoch the window restarts
+  /// before the alarm is recorded, and a detection fires the moment an
+  /// epoch's alarm count reaches the threshold (counted once per epoch).
+  void record_alarm();
 
   /// Folds the batched access tallies into the named counters. Like the
   /// occupancy histogram's run-length batching, the pending counts are an
@@ -139,6 +164,10 @@ class Cache {
   mutable std::uint64_t pending_hits_ = 0;
   mutable std::uint64_t pending_misses_ = 0;
   std::uint64_t cross_owner_evictions_ = 0;
+  std::uint64_t sharp_alarms_ = 0;
+  std::uint64_t sharp_detections_ = 0;
+  std::uint64_t epoch_start_tick_ = 0;
+  std::uint64_t epoch_alarms_ = 0;
 };
 
 }  // namespace safespec::memory

@@ -73,6 +73,17 @@ class SharedLevels {
   /// the historical inclusive fill behaviour on each path. The caller
   /// (CacheHierarchy::timed_access) fills its own L1 afterwards. `owner`
   /// is the requesting core id.
+  ///
+  /// Known inclusion quirk (deliberately preserved): on the *L3-hit*
+  /// path the promotion fill into L2 discards its eviction — the line
+  /// pushed out of L2 is not back-invalidated from the attached L1s, so
+  /// an L1 can briefly hold a line that no longer sits in L2 (strict
+  /// inclusion is violated L1-vs-L2, never L1/L2-vs-L3; the line is
+  /// still in L3, so a later L3 eviction cleans it up). The from-memory
+  /// path (fill_shared) *does* back-invalidate both levels' evictions.
+  /// Every golden cycle count and attack trace pins this behaviour —
+  /// see memory_test's L3-hit-path inclusion test and ROADMAP "known
+  /// modelling quirks" before changing it.
   AccessOutcome access_below_l1(Addr line, bool touch, bool fill,
                                 bool count_stats, int owner);
 
@@ -97,6 +108,15 @@ class SharedLevels {
   /// machine-wide remote-eviction (contention) signal.
   std::uint64_t cross_core_evictions() const {
     return l2_.cross_owner_evictions() + l3_.cross_owner_evictions();
+  }
+
+  /// Sum over L2+L3 of SHARP alarms / detections. Always zero unless the
+  /// protection policy selected a CacheProtection (SHARP / detect-only).
+  std::uint64_t sharp_alarms() const {
+    return l2_.sharp_alarms() + l3_.sharp_alarms();
+  }
+  std::uint64_t sharp_detections() const {
+    return l2_.sharp_detections() + l3_.sharp_detections();
   }
 
   int num_attached() const { return static_cast<int>(attached_.size()); }

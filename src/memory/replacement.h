@@ -18,6 +18,21 @@ enum class ReplPolicy : std::uint8_t {
   kRandom,  ///< uniform random victim (deterministic via seeded Rng)
 };
 
+/// Cache-level protection applied at victim selection, orthogonal to the
+/// base ReplPolicy (set via CacheConfig::protection, chosen by the
+/// ProtectionPolicy in the registry).
+enum class CacheProtection : std::uint8_t {
+  kNone,        ///< historical behaviour: owner-blind victim choice
+  kSharp,       ///< SHARP: prefer requester-owned ways, alarm when forced
+  kDetectOnly,  ///< victim choice unchanged; cross-owner evictions alarm
+};
+
+/// Outcome of a protected victim choice (see protected_victim()).
+struct VictimChoice {
+  int way = 0;
+  bool forced = false;  ///< no requester-owned way existed (SHARP alarm)
+};
+
 /// Per-set replacement metadata: one 64-bit stamp and one owner id per
 /// way. For LRU the stamp is last-touch time, for FIFO it is fill time,
 /// for Random it is unused. The owner supplies a monotonically increasing
@@ -25,11 +40,11 @@ enum class ReplPolicy : std::uint8_t {
 ///
 /// The `owner` parameter is the requesting context (core id in the
 /// multi-core simulator, 0 for single-core structures such as TLBs).
-/// None of the built-in policies let it influence the victim choice —
-/// that is what keeps cores=1 bit-identical to the historical behaviour —
-/// but it is recorded per way so context-aware policies (SHARP-style
-/// "never evict another context's line") and the shared-level attribution
-/// counters can see who owns each line.
+/// victim() never lets it influence the choice — that is what keeps
+/// cores=1 bit-identical to the historical behaviour — but it is recorded
+/// per way so protected_victim() (SHARP's "never evict another context's
+/// line") and the shared-level attribution counters can see who owns each
+/// line.
 class ReplacementState {
  public:
   ReplacementState(ReplPolicy policy, int num_ways, std::uint64_t seed)
@@ -65,6 +80,42 @@ class ReplacementState {
       if (stamps_[w] < stamps_[best]) best = w;
     }
     return best;
+  }
+
+  /// SHARP-style victim choice for a fill by `owner`: ways owned by other
+  /// contexts are skipped and the base policy picks among the requester's
+  /// own lines (SHARP's tier-1 "unowned" and tier-2 "requester-owned"
+  /// preferences collapse to one rule here because the model has no
+  /// unowned state — every resident way records the context that filled
+  /// it). When the requester owns nothing in the set the choice is
+  /// *forced*: a uniformly random way is evicted and the caller raises an
+  /// alarm (tier 3). When every way belongs to the requester — always the
+  /// case at cores=1 — the result is bit-identical to victim(), including
+  /// the kRandom draw sequence (one rng_.below() of the same bound).
+  VictimChoice protected_victim(std::uint64_t /*tick*/, int owner) {
+    const int num_ways = static_cast<int>(owners_.size());
+    int candidates = 0;
+    for (int w = 0; w < num_ways; ++w) {
+      if (owners_[w] == owner) ++candidates;
+    }
+    if (candidates == 0) {
+      return {static_cast<int>(rng_.below(stamps_.size())), true};
+    }
+    if (policy_ == ReplPolicy::kRandom) {
+      int nth = static_cast<int>(
+          rng_.below(static_cast<std::uint64_t>(candidates)));
+      for (int w = 0; w < num_ways; ++w) {
+        if (owners_[w] == owner && nth-- == 0) return {w, false};
+      }
+    }
+    // LRU and FIFO both evict the smallest stamp among the candidates,
+    // lowest way on ties — the same rule victim() applies to all ways.
+    int best = -1;
+    for (int w = 0; w < num_ways; ++w) {
+      if (owners_[w] != owner) continue;
+      if (best < 0 || stamps_[w] < stamps_[best]) best = w;
+    }
+    return {best, false};
   }
 
   /// The context that filled `way` (see fill()).

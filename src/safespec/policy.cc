@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/registry.h"
+#include "memory/cache_hierarchy.h"
 
 namespace safespec::policy {
 
@@ -56,6 +57,37 @@ class WfbStallPolicy final : public ProtectionPolicy {
   }
 };
 
+class SharpPolicy final : public ProtectionPolicy {
+ public:
+  const char* name() const override { return "SHARP"; }
+  const char* description() const override {
+    return "SHARP-style protected replacement: victims prefer "
+           "requester-owned ways, forced cross-owner evictions raise "
+           "alarms and feed a threshold/epoch detector (no shadow "
+           "structures; speculative fills are unshadowed)";
+  }
+  bool shadows_speculation() const override { return false; }
+  bool promote_at_branch_resolution() const override { return false; }
+  memory::CacheProtection cache_protection() const override {
+    return memory::CacheProtection::kSharp;
+  }
+};
+
+class DetectOnlyPolicy final : public ProtectionPolicy {
+ public:
+  const char* name() const override { return "detect-only"; }
+  const char* description() const override {
+    return "baseline timing plus telemetry: victim selection is "
+           "unchanged, but every cross-owner eviction raises an alarm "
+           "and feeds the threshold/epoch detector";
+  }
+  bool shadows_speculation() const override { return false; }
+  bool promote_at_branch_resolution() const override { return false; }
+  memory::CacheProtection cache_protection() const override {
+    return memory::CacheProtection::kDetectOnly;
+  }
+};
+
 NamedRegistry<std::unique_ptr<const ProtectionPolicy>>& registry() {
   static auto* r = [] {
     auto* reg = new NamedRegistry<std::unique_ptr<const ProtectionPolicy>>(
@@ -68,12 +100,26 @@ NamedRegistry<std::unique_ptr<const ProtectionPolicy>>& registry() {
     add(std::make_unique<WfbPolicy>());
     add(std::make_unique<WfcPolicy>());
     add(std::make_unique<WfbStallPolicy>());
+    add(std::make_unique<SharpPolicy>());
+    add(std::make_unique<DetectOnlyPolicy>());
     return reg;
   }();
   return *r;
 }
 
 }  // namespace
+
+void ProtectionPolicy::tune(memory::HierarchyConfig& config,
+                            std::uint64_t alarm_threshold,
+                            std::uint64_t alarm_epoch_ticks) const {
+  const memory::CacheProtection prot = cache_protection();
+  for (memory::CacheConfig* level :
+       {&config.l1i, &config.l1d, &config.l2, &config.l3}) {
+    level->protection = prot;
+    level->alarm_threshold = alarm_threshold;
+    level->alarm_epoch_ticks = alarm_epoch_ticks;
+  }
+}
 
 const ProtectionPolicy& named_policy(const std::string& name) {
   return *registry().at(name);

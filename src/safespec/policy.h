@@ -17,20 +17,31 @@
 //     (full_policy_override: §V — drop the update or stall the
 //     requester; nullopt keeps the per-structure configuration)
 //
+// A fifth decision point, cache_protection(), lets a policy defend at
+// the replacement level instead of shadowing speculation — the SHARP
+// family ("SHARP" protects + alarms, "detect-only" only alarms) lives
+// there; see docs/mitigations.md for the family comparison.
+//
 // Policies are stateless singletons registered under a string key, so a
 // new variant is selectable from a config file or --set flag without
 // recompiling anything that builds machines. The registry ships the
 // three paper policies plus "WFB-stall" (WFB whose shadows stall on
 // full — the §V closure of the TSA channel applied to WFB sizing
-// studies).
+// studies), "SHARP" and "detect-only".
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "memory/replacement.h"
 #include "safespec/shadow_structures.h"
+
+namespace safespec::memory {
+struct HierarchyConfig;
+}  // namespace safespec::memory
 
 namespace safespec::policy {
 
@@ -64,10 +75,23 @@ class ProtectionPolicy {
     return std::nullopt;
   }
 
+  /// Cache-level protection applied at replacement victim selection: the
+  /// SHARP family defends here instead of (not in addition to) shadowing
+  /// speculation. kNone for the baseline and every shadow-based policy.
+  virtual memory::CacheProtection cache_protection() const {
+    return memory::CacheProtection::kNone;
+  }
+
   /// Applies full_policy_override() to one shadow-structure config.
   void tune(shadow::ShadowConfig& config) const {
     if (const auto fp = full_policy_override()) config.full_policy = *fp;
   }
+
+  /// Applies cache_protection() and the SHARP detector configuration to
+  /// every cache level of a hierarchy config (idempotent — both the core
+  /// and the shared-level builder run it on the same spec).
+  void tune(memory::HierarchyConfig& config, std::uint64_t alarm_threshold,
+            std::uint64_t alarm_epoch_ticks) const;
 
   /// The legacy enum value this policy's promotion semantics correspond
   /// to (attack PoCs and older tests still speak CommitPolicy).

@@ -219,6 +219,10 @@ void MachineSpec::validate() const {
     throw std::invalid_argument("dib_lines must be non-negative (0 "
                                 "disables the decoded-instruction buffer)");
   }
+  if (c.sharp_alarm_threshold == 0 || c.sharp_alarm_epoch == 0) {
+    throw std::invalid_argument(
+        "sharp_alarm_threshold and sharp_alarm_epoch must be positive");
+  }
   if (c.cores < 1 || c.cores > 64) {
     throw std::invalid_argument("cores must be in [1, 64], got " +
                                 std::to_string(c.cores));
@@ -325,6 +329,8 @@ std::string MachineSpec::to_json() const {
   w.field("mul_latency", c.mul_latency);
   w.field("div_latency", c.div_latency);
   w.field("shadow_hit_latency", c.shadow_hit_latency);
+  w.field("sharp_alarm_threshold", c.sharp_alarm_threshold);
+  w.field("sharp_alarm_epoch", c.sharp_alarm_epoch);
   w.close();
 
   w.open("caches");
@@ -450,6 +456,8 @@ MachineSpec MachineSpec::from_json(const std::string& text) {
     read_cycle(*core, "mul_latency", c.mul_latency);
     read_cycle(*core, "div_latency", c.div_latency);
     read_cycle(*core, "shadow_hit_latency", c.shadow_hit_latency);
+    read_u64(*core, "sharp_alarm_threshold", c.sharp_alarm_threshold);
+    read_u64(*core, "sharp_alarm_epoch", c.sharp_alarm_epoch);
   }
 
   if (const Json* caches = doc.find("caches")) {
@@ -562,6 +570,14 @@ void MachineSpec::set(const std::string& key, const std::string& value) {
   if (key == "policy") {
     policy::named_policy(value);  // throws with the registered list
     c.policy = value;
+    return;
+  }
+  if (key == "sharp_alarm_threshold") {
+    c.sharp_alarm_threshold = u64();
+    return;
+  }
+  if (key == "sharp_alarm_epoch") {
+    c.sharp_alarm_epoch = u64();
     return;
   }
   if (key == "allow_undersized_shadows") {

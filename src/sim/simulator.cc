@@ -37,7 +37,13 @@ Simulator::Simulator(const cpu::CoreConfig& config,
 
 void Simulator::build_cores(const cpu::CoreConfig& config,
                             std::vector<isa::Program> programs) {
-  shared_levels_ = std::make_unique<memory::SharedLevels>(config.hierarchy);
+  // The shared L2/L3 get the same policy tuning (SHARP cache protection,
+  // detector thresholds) the cores apply to their private levels.
+  memory::HierarchyConfig shared_config = config.hierarchy;
+  policy::named_policy(config.policy)
+      .tune(shared_config, config.sharp_alarm_threshold,
+            config.sharp_alarm_epoch);
+  shared_levels_ = std::make_unique<memory::SharedLevels>(shared_config);
   ctx_.reserve(programs.size());
   for (std::size_t c = 0; c < programs.size(); ++c) {
     auto ctx = std::make_unique<CoreContext>(std::move(programs[c]));
@@ -312,6 +318,14 @@ SimResult Simulator::snapshot(cpu::StopReason stop) const {
     r.committed_all_cores += ctx->core->stats().committed_instrs;
   }
   r.cross_core_evictions = shared_levels_->cross_core_evictions();
+  r.sharp_alarms = shared_levels_->sharp_alarms();
+  r.sharp_detections = shared_levels_->sharp_detections();
+  for (const auto& ctx : ctx_) {
+    const memory::CacheHierarchy& h = ctx->core->hierarchy();
+    r.sharp_alarms += h.l1i().sharp_alarms() + h.l1d().sharp_alarms();
+    r.sharp_detections +=
+        h.l1i().sharp_detections() + h.l1d().sharp_detections();
+  }
 
   r.dcache_accesses = core.hierarchy().l1d().stats().accesses();
   r.dcache_misses = core.hierarchy().l1d().stats().misses.value();

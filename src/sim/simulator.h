@@ -90,6 +90,14 @@ struct SimResult {
   /// Shared-level (L2+L3) fills that evicted another core's line.
   std::uint64_t cross_core_evictions = 0;
 
+  /// SHARP telemetry, summed over the shared L2/L3 and every core's L1s:
+  /// alarms (forced cross-owner evictions under "SHARP"; every observed
+  /// cross-owner eviction under "detect-only") and detections (epochs
+  /// whose alarm count crossed CoreConfig::sharp_alarm_threshold). Zero
+  /// under every non-SHARP-family policy.
+  std::uint64_t sharp_alarms = 0;
+  std::uint64_t sharp_detections = 0;
+
   // d-cache (Fig 12/13): reads only; miss rate "including the shadow".
   std::uint64_t dcache_accesses = 0;
   std::uint64_t dcache_misses = 0;       ///< L1D misses

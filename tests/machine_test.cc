@@ -273,6 +273,44 @@ TEST(MachineSpecValidate, RejectsOutOfRangeCoresAndSampledMulticore) {
   EXPECT_NO_THROW(spec.validate());
 }
 
+TEST(MachineSpecJson, SharpDetectorFieldsRoundTrip) {
+  MachineSpec spec = sim::machine_preset("skylake");
+  spec.core.policy = "SHARP";
+  spec.core.sharp_alarm_threshold = 50;
+  spec.core.sharp_alarm_epoch = 100'000;
+  EXPECT_NO_THROW(spec.validate());
+  const std::string json = spec.to_json();
+  const MachineSpec parsed = MachineSpec::from_json(json);
+  EXPECT_EQ(parsed.to_json(), json);
+  EXPECT_EQ(parsed.core.policy, "SHARP");
+  EXPECT_EQ(parsed.core.sharp_alarm_threshold, 50u);
+  EXPECT_EQ(parsed.core.sharp_alarm_epoch, 100'000u);
+  // A document without the fields keeps the exemplar defaults.
+  const MachineSpec bare = MachineSpec::from_json(R"({"preset": "skylake"})");
+  EXPECT_EQ(bare.core.sharp_alarm_threshold, 2000u);
+  EXPECT_EQ(bare.core.sharp_alarm_epoch, 1'000'000'000u);
+}
+
+TEST(MachineSpecSet, SharpDetectorKeysAndPolicyNames) {
+  MachineSpec spec;
+  spec.set("policy=SHARP");
+  spec.set("sharp_alarm_threshold=7");
+  spec.set("sharp_alarm_epoch=500");
+  EXPECT_EQ(spec.core.policy, "SHARP");
+  EXPECT_EQ(spec.core.sharp_alarm_threshold, 7u);
+  EXPECT_EQ(spec.core.sharp_alarm_epoch, 500u);
+  EXPECT_NO_THROW(spec.validate());
+  spec.set("policy=detect-only");
+  EXPECT_NO_THROW(spec.validate());
+  // A zero threshold or epoch would make the detector fire on nothing /
+  // divide the run into empty epochs; both are rejected.
+  spec.set("sharp_alarm_threshold=0");
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.set("sharp_alarm_threshold=2000");
+  spec.set("sharp_alarm_epoch=0");
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
 TEST(MachineSpecSet, RejectsUnknownKeysAndBadValues) {
   MachineSpec spec;
   EXPECT_THROW(spec.set("no_such_field=1"), std::invalid_argument);

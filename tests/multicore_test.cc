@@ -106,6 +106,33 @@ TEST(MultiCore, SharedContentionNeverReachesArchitecture) {
   }
 }
 
+TEST(MultiCore, SharpFamilySingleCoreBitIdenticalToBaseline) {
+  // At cores=1 every line is owner 0, so SHARP's protected choice and
+  // detect-only's telemetry reduce to the baseline victim stream —
+  // including the random draw. The whole fingerprint must match.
+  const auto base = run_once("gcc", "baseline", "skylake", 1, 20'000);
+  for (const char* policy : {"SHARP", "detect-only"}) {
+    const auto p = run_once("gcc", policy, "skylake", 1, 20'000);
+    expect_identical(base, p, std::string("cores=1 vs baseline, ") + policy);
+  }
+}
+
+TEST(MultiCore, DetectOnlyCoresTwoTimingIdenticalToBaseline) {
+  // detect-only observes cross-owner evictions without altering any
+  // victim choice, so even the cores=2 run (where owners genuinely
+  // differ) is cycle-identical to the baseline.
+  const auto base = run_once("mcf", "baseline", "skylake", 2, 20'000);
+  const auto det = run_once("mcf", "detect-only", "skylake", 2, 20'000);
+  expect_identical(base, det, "cores=2 baseline vs detect-only");
+}
+
+TEST(MultiCore, SharpCoresTwoRunTwiceIsBitIdentical) {
+  const auto a = run_once("mcf", "SHARP", "skylake", 2, 20'000);
+  const auto b = run_once("mcf", "SHARP", "skylake", 2, 20'000);
+  ASSERT_EQ(a.committed.size(), 2u);
+  expect_identical(a, b, "cores=2 repeat, SHARP");
+}
+
 // ---- cores=1 stability across the whole configuration space ----------------
 
 TEST(MultiCore, SingleCoreStaysDeterministicAcrossPoliciesAndPresets) {

@@ -70,8 +70,11 @@ bool known_mode(const std::string& mode) {
 /// a large code footprint stressing the i-side shadow (gcc), a
 /// branchy/squash-heavy control profile (exchange2), the kStall
 /// full-table path (WFB-stall), and the little "embedded" preset. The
-/// cores=2 cells exercise the multi-core path — round-robin scheduling
-/// and the shared L2/L3 with per-core owner attribution. The
+/// SHARP cells cover the cache-protection family's hot path (the
+/// protected-victim scan on every fill; at cores=1 it is
+/// cycle-identical to the baseline, so the perf signal is pure host
+/// cost). The cores=2 cells exercise the multi-core path — round-robin
+/// scheduling and the shared L2/L3 with per-core owner attribution. The
 /// trace:@ cells run the same workloads through the trace codec round
 /// trip (cycle-identical to their synthetic twins by construction, so
 /// the perf_compare gate covers the trace frontend too). The trailing
@@ -87,6 +90,8 @@ std::vector<Cell> default_cells() {
       {"exchange2", "WFC", "skylake"},
       {"xalancbmk", "WFB-stall", "skylake"},
       {"mcf", "WFC", "embedded"},
+      {"mcf", "SHARP", "skylake"},
+      {"gcc", "SHARP", "skylake", "detailed", 2},
       {"mcf", "baseline", "skylake", "detailed", 2},
       {"gcc", "WFC", "skylake", "detailed", 2},
       {"trace:@mcf", "baseline", "skylake"},
@@ -396,7 +401,7 @@ int main(int argc, char** argv) {
       if (!known_mode(cell.mode)) {
         std::fprintf(stderr,
                      "bad cell: unknown mode '%s' (detailed, sampled, "
-                     "functional)\n",
+                     "sampled-fast, functional)\n",
                      cell.mode.c_str());
         return 2;
       }
