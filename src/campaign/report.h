@@ -1,0 +1,25 @@
+// Perf-trend report: MIPS across a directory of perf artifacts.
+//
+// Input is what CI archives anyway — one BENCH_sim_throughput.json per
+// nightly run. The HTML report is a single self-contained file (inline
+// SVG, no scripts, no external assets): an aggregate-MIPS trend line
+// plus one sparkline row per cell key, so a simulator slowdown shows up
+// as a visible dip in the nightly artifact without any tooling beyond a
+// browser. The JSON twin carries the same series for machines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "campaign/perf_artifacts.h"
+
+namespace safespec::campaign {
+
+/// Self-contained HTML document plotting aggregate and per-cell MIPS
+/// across `runs` (in input order; load_perf_dir sorts by filename).
+std::string render_trend_html(const std::vector<PerfRun>& runs);
+
+/// {"runs":[...labels...],"aggregate_mips":[...],"cells":[{key,series}]}
+std::string render_trend_json(const std::vector<PerfRun>& runs);
+
+}  // namespace safespec::campaign

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string_view>
 
 #include "common/types.h"
 
@@ -15,6 +16,19 @@ inline std::size_t mix64(Addr key) {
   key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
   key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
   return static_cast<std::size_t>(key ^ (key >> 31));
+}
+
+/// FNV-1a over bytes. Not for hot-path tables — this is the stable
+/// content fingerprint (campaign manifests stamp it into every shard
+/// journal header so a resumed run refuses a journal written under a
+/// different manifest revision).
+inline std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
 }
 
 }  // namespace safespec

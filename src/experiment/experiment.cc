@@ -191,26 +191,6 @@ std::string format_value(double value, const char* format) {
   return buf;
 }
 
-std::string csv_escape(const std::string& field) {
-  if (field.find_first_of(",\"\n") == std::string::npos) return field;
-  std::string quoted = "\"";
-  for (char c : field) {
-    if (c == '"') quoted += '"';
-    quoted += c;
-  }
-  quoted += '"';
-  return quoted;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  for (char c : text) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
 }  // namespace
 
 ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
@@ -252,142 +232,41 @@ bool ResultTable::any_note() const {
   return false;
 }
 
-void ResultTable::print(std::FILE* out) const {
-  std::fprintf(out, "\n%s\n", title_.c_str());
-  std::fprintf(out, "%-12s", "benchmark");
-  for (const auto& c : columns_) std::fprintf(out, " %12s", c.c_str());
-  std::fprintf(out, "\n");
-  for (std::size_t i = 0; i < 12 + columns_.size() * 13; ++i)
-    std::fprintf(out, "-");
-  std::fprintf(out, "\n");
+void ResultTable::emit(RowSink& sink) const {
+  sink.begin_table(title_, columns_, any_note());
   for (const auto& row : rows_) {
-    std::fprintf(out, "%-12s", row.name.c_str());
-    for (const auto& cell : row.cells)
-      std::fprintf(out, " %s", cell.text.c_str());
-    // Converged rows print exactly as they always did; a non-converged
-    // cell (cycle budget / fault) is flagged at the end of its row.
-    if (!row.note.empty()) std::fprintf(out, "  !%s", row.note.c_str());
-    std::fprintf(out, "\n");
+    TableRow out;
+    out.name = row.name;
+    out.texts.reserve(row.cells.size());
+    out.values.reserve(row.cells.size());
+    for (const auto& cell : row.cells) {
+      out.texts.push_back(cell.text);
+      out.values.push_back(cell.value);
+    }
+    out.note = row.note;
+    sink.row(out);
   }
+  sink.end_table();
+}
+
+void ResultTable::print(std::FILE* out) const {
+  TextTableSink sink(out);
+  emit(sink);
 }
 
 void ResultTable::append_csv(std::FILE* out) const {
-  const bool notes = any_note();
-  std::fprintf(out, "table,benchmark");
-  for (const auto& c : columns_)
-    std::fprintf(out, ",%s", csv_escape(c).c_str());
-  if (notes) std::fprintf(out, ",stop");
-  std::fprintf(out, "\n");
-  for (const auto& row : rows_) {
-    std::fprintf(out, "%s,%s", csv_escape(title_).c_str(),
-                 csv_escape(row.name).c_str());
-    for (const auto& cell : row.cells) {
-      if (cell.value) {
-        std::fprintf(out, ",%.17g", *cell.value);
-      } else {
-        std::fprintf(out, ",");
-      }
-    }
-    if (notes) std::fprintf(out, ",%s", csv_escape(row.note).c_str());
-    std::fprintf(out, "\n");
-  }
+  CsvSink sink(out);
+  emit(sink);
 }
 
 void ResultTable::append_json(std::vector<std::string>& items) const {
-  for (const auto& row : rows_) {
-    std::string obj = "{\"table\":\"" + json_escape(title_) +
-                      "\",\"row\":\"" + json_escape(row.name) + "\"";
-    for (std::size_t c = 0; c < row.cells.size(); ++c) {
-      const std::string key =
-          c < columns_.size() ? columns_[c] : "col" + std::to_string(c);
-      obj += ",\"" + json_escape(key) + "\":";
-      // nan/inf are not valid JSON tokens — emit null instead.
-      if (row.cells[c].value && std::isfinite(*row.cells[c].value)) {
-        obj += format_value(*row.cells[c].value, "%.17g");
-      } else {
-        obj += "null";
-      }
-    }
-    if (!row.note.empty()) {
-      obj += ",\"stop\":\"" + json_escape(row.note) + "\"";
-    }
-    obj += "}";
-    items.push_back(std::move(obj));
-  }
+  JsonItemsSink sink(items);
+  emit(sink);
 }
 
 // ---- CLI --------------------------------------------------------------------
-
-namespace {
-
-void print_usage(const char* prog, const char* extra_usage, std::FILE* out) {
-  std::fprintf(out,
-               "usage: %s [--threads=N] [--csv=PATH] [--json=PATH] "
-               "[--instrs=N] [--config=FILE] [--set=key=value]%s%s\n"
-               "  --threads=N      worker threads for the sweep "
-               "(default: hardware concurrency)\n"
-               "  --csv=PATH       also write every table as CSV\n"
-               "  --json=PATH      also write every table as JSON\n"
-               "  --instrs=N       committed instructions per cell "
-               "(default %llu)\n"
-               "  --config=FILE    base machine as a MachineSpec JSON file\n"
-               "                   (default: the \"skylake\" preset)\n"
-               "  --set=key=value  override one machine field (repeatable):\n"
-               "                   preset=embedded, policy=WFB-stall,\n"
-               "                   rob_entries=64, shadow_dcache.entries=16,\n"
-               "                   ... (see MachineSpec::set); a bench whose\n"
-               "                   variant axis *is* the policy overrides\n"
-               "                   policy= per variant\n",
-               prog, extra_usage ? " " : "", extra_usage ? extra_usage : "",
-               static_cast<unsigned long long>(kInstrsPerRun));
-}
-
-bool flag_value(const char* arg, const char* name, const char** value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-}  // namespace
-
-BenchOptions parse_bench_args(int argc, char** argv,
-                              const char* extra_usage) {
-  BenchOptions opts;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      print_usage(argv[0], extra_usage, stdout);
-      std::exit(0);
-    } else if (flag_value(arg, "--threads", &value)) {
-      opts.threads = std::atoi(value);
-    } else if (flag_value(arg, "--csv", &value)) {
-      opts.csv_path = value;
-    } else if (flag_value(arg, "--json", &value)) {
-      opts.json_path = value;
-    } else if (flag_value(arg, "--instrs", &value)) {
-      opts.instrs = std::strtoull(value, nullptr, 10);
-    } else if (flag_value(arg, "--config", &value)) {
-      opts.config_path = value;
-    } else if (flag_value(arg, "--set", &value)) {
-      opts.overrides.emplace_back(value);
-    } else if (std::strcmp(arg, "--set") == 0 && i + 1 < argc) {
-      opts.overrides.emplace_back(argv[++i]);
-    } else if (std::strcmp(arg, "--config") == 0 && i + 1 < argc) {
-      opts.config_path = argv[++i];
-    } else if (std::strncmp(arg, "--", 2) == 0) {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
-      print_usage(argv[0], extra_usage, stderr);
-      std::exit(2);
-    } else {
-      opts.positional.push_back(arg);
-    }
-  }
-  return opts;
-}
+// Flag parsing moved to common/cli.{h,cc}; what remains here is the
+// experiment-specific half: resolving the machine and emitting tables.
 
 sim::MachineSpec resolve_machine(const BenchOptions& options) {
   try {

@@ -14,7 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "common/cli.h"
 #include "cpu/core.h"
+#include "experiment/row_sink.h"
 #include "safespec/shadow_structures.h"
 #include "sim/machine.h"
 #include "sim/sim_config.h"
@@ -207,13 +209,19 @@ class ResultTable {
   const std::string& title() const { return title_; }
   std::size_t num_rows() const { return rows_.size(); }
 
+  /// Streams the table through any RowSink (begin_table, rows,
+  /// end_table) — the one emission path all the sinks below share.
+  void emit(RowSink& sink) const;
+
   /// Aligned text, exactly the layout bench_util.h used to print.
+  /// (emit through a TextTableSink.)
   void print(std::FILE* out = stdout) const;
   /// CSV section: `table,benchmark,<columns...>` header then one line per
-  /// row (full-precision values, blanks for missing cells).
+  /// row (full-precision values, blanks for missing cells). (CsvSink.)
   void append_csv(std::FILE* out) const;
   /// JSON objects {"table":..., "row":..., "<column>": value, ...}
   /// appended to `items` (the CLI helper wraps them in one array).
+  /// (JsonItemsSink.)
   void append_json(std::vector<std::string>& items) const;
 
  private:
@@ -235,22 +243,16 @@ class ResultTable {
 
 // ---- CLI --------------------------------------------------------------------
 
-/// Options every bench accepts: --threads=N, --csv=PATH, --json=PATH,
-/// --instrs=N, --config=FILE, --set=key=value (repeatable), --help.
-struct BenchOptions {
-  int threads = 0;               ///< 0 = hardware concurrency
-  std::string csv_path;          ///< empty = no CSV emission
-  std::string json_path;         ///< empty = no JSON emission
-  std::uint64_t instrs = kInstrsPerRun;
-  std::string config_path;       ///< --config: MachineSpec JSON file
-  std::vector<std::string> overrides;  ///< --set key=value, in order
-  std::vector<std::string> positional;
-};
+/// The shared flag family lives in common/cli.h now (every tool sits on
+/// cli::FlagSet); these aliases keep bench call sites unchanged.
+using BenchOptions = cli::BenchOptions;
 
 /// Parses the shared flags; prints usage and exits on --help or an
 /// unknown --flag. Positional arguments pass through untouched.
-BenchOptions parse_bench_args(int argc, char** argv,
-                              const char* extra_usage = nullptr);
+inline BenchOptions parse_bench_args(int argc, char** argv,
+                                     const char* extra_usage = nullptr) {
+  return cli::parse_bench_args(argc, argv, extra_usage, kInstrsPerRun);
+}
 
 /// The machine the options describe: --config's JSON file (default: the
 /// "skylake" preset) with every --set override applied in order, then

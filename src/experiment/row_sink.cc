@@ -1,0 +1,200 @@
+#include "experiment/row_sink.h"
+
+#include <cmath>
+
+namespace safespec::experiment {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        out += static_cast<unsigned char>(c) < 0x20 ? '?' : c;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string full_precision(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// The {"table":...,"row":...,cols...} object both JSON sinks emit.
+std::string table_row_object(const std::string& title,
+                             const std::vector<std::string>& columns,
+                             const TableRow& row) {
+  std::string obj =
+      "{\"table\":\"" + json_escape(title) + "\",\"row\":\"" +
+      json_escape(row.name) + "\"";
+  for (std::size_t c = 0; c < row.values.size(); ++c) {
+    const std::string key =
+        c < columns.size() ? columns[c] : "col" + std::to_string(c);
+    obj += ",\"" + json_escape(key) + "\":";
+    // nan/inf are not valid JSON tokens — emit null instead.
+    if (row.values[c] && std::isfinite(*row.values[c])) {
+      obj += full_precision(*row.values[c]);
+    } else {
+      obj += "null";
+    }
+  }
+  if (!row.note.empty()) {
+    obj += ",\"stop\":\"" + json_escape(row.note) + "\"";
+  }
+  obj += "}";
+  return obj;
+}
+
+}  // namespace
+
+// ---- TextTableSink ----------------------------------------------------------
+
+void TextTableSink::begin_table(const std::string& title,
+                                const std::vector<std::string>& columns,
+                                bool /*any_note*/) {
+  std::fprintf(out_, "\n%s\n", title.c_str());
+  std::fprintf(out_, "%-12s", "benchmark");
+  for (const auto& c : columns) std::fprintf(out_, " %12s", c.c_str());
+  std::fprintf(out_, "\n");
+  for (std::size_t i = 0; i < 12 + columns.size() * 13; ++i)
+    std::fprintf(out_, "-");
+  std::fprintf(out_, "\n");
+}
+
+void TextTableSink::row(const TableRow& row) {
+  std::fprintf(out_, "%-12s", row.name.c_str());
+  for (const auto& text : row.texts) std::fprintf(out_, " %s", text.c_str());
+  // Converged rows print exactly as they always did; a non-converged
+  // cell (cycle budget / fault) is flagged at the end of its row.
+  if (!row.note.empty()) std::fprintf(out_, "  !%s", row.note.c_str());
+  std::fprintf(out_, "\n");
+}
+
+// ---- CsvSink ----------------------------------------------------------------
+
+void CsvSink::begin_table(const std::string& title,
+                          const std::vector<std::string>& columns,
+                          bool any_note) {
+  title_ = title;
+  notes_ = any_note;
+  std::fprintf(out_, "table,benchmark");
+  for (const auto& c : columns)
+    std::fprintf(out_, ",%s", csv_escape(c).c_str());
+  if (notes_) std::fprintf(out_, ",stop");
+  std::fprintf(out_, "\n");
+}
+
+void CsvSink::row(const TableRow& row) {
+  std::fprintf(out_, "%s,%s", csv_escape(title_).c_str(),
+               csv_escape(row.name).c_str());
+  for (const auto& value : row.values) {
+    if (value) {
+      std::fprintf(out_, ",%.17g", *value);
+    } else {
+      std::fprintf(out_, ",");
+    }
+  }
+  if (notes_) std::fprintf(out_, ",%s", csv_escape(row.note).c_str());
+  std::fprintf(out_, "\n");
+}
+
+// ---- JsonItemsSink ----------------------------------------------------------
+
+void JsonItemsSink::begin_table(const std::string& title,
+                                const std::vector<std::string>& columns,
+                                bool /*any_note*/) {
+  title_ = title;
+  columns_ = columns;
+}
+
+void JsonItemsSink::row(const TableRow& row) {
+  items_->push_back(table_row_object(title_, columns_, row));
+}
+
+// ---- JsonlObject ------------------------------------------------------------
+
+void JsonlObject::begin_field(const char* key) {
+  if (body_.size() > 1) body_ += ',';
+  body_ += '"';
+  body_ += json_escape(key);
+  body_ += "\":";
+}
+
+JsonlObject& JsonlObject::u64(const char* key, std::uint64_t value) {
+  begin_field(key);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonlObject& JsonlObject::number(const char* key, double value) {
+  begin_field(key);
+  body_ += std::isfinite(value) ? full_precision(value) : "null";
+  return *this;
+}
+
+JsonlObject& JsonlObject::text(const char* key, const std::string& value) {
+  begin_field(key);
+  body_ += '"';
+  body_ += json_escape(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonlObject& JsonlObject::boolean(const char* key, bool value) {
+  begin_field(key);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonlObject& JsonlObject::strings(const char* key,
+                                  const std::vector<std::string>& value) {
+  begin_field(key);
+  body_ += '[';
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    if (i > 0) body_ += ',';
+    body_ += '"';
+    body_ += json_escape(value[i]);
+    body_ += '"';
+  }
+  body_ += ']';
+  return *this;
+}
+
+// ---- JsonlSink --------------------------------------------------------------
+
+void JsonlSink::begin_table(const std::string& title,
+                            const std::vector<std::string>& columns,
+                            bool /*any_note*/) {
+  title_ = title;
+  columns_ = columns;
+}
+
+void JsonlSink::row(const TableRow& row) {
+  line(table_row_object(title_, columns_, row));
+}
+
+void JsonlSink::line(const std::string& object_text) {
+  std::fprintf(out_, "%s\n", object_text.c_str());
+  if (flush_) std::fflush(out_);
+}
+
+}  // namespace safespec::experiment

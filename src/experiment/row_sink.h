@@ -1,0 +1,145 @@
+// Row sinks: where experiment tables and campaign journals put rows.
+//
+// ResultTable used to own three hard-coded emitters (aligned text, CSV,
+// a JSON item list). Those are now RowSink implementations fed by
+// ResultTable::emit, plus a fourth — JsonlSink — that appends one JSON
+// object per line and flushes after every row. JSONL is the campaign
+// layer's checkpoint format: a shard process that is SIGKILLed mid-sweep
+// loses at most the line it was writing, and every fully written line is
+// a durable, independently parseable record a resumed process (or the
+// merge step) picks up as-is.
+//
+// The Text/CSV/JSON sinks reproduce the historical emitters byte for
+// byte — the golden CSV tests pin this.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace safespec::experiment {
+
+/// Escapes text for embedding inside a JSON string literal. Quotes and
+/// backslashes are escaped (as the historical JSON emitter did), plus
+/// \n/\t/\r so multi-line payloads (e.g. joined violation lists) survive
+/// the round trip through common/json's parser; other control bytes are
+/// replaced with '?' (the parser has no \u escape).
+std::string json_escape(const std::string& text);
+
+/// One table row: the row label, a preformatted text per cell (already
+/// padded/formatted by the table's per-row printf format), the raw value
+/// per cell (nullopt = blank cell), and the stop-note annotation.
+struct TableRow {
+  std::string name;
+  std::vector<std::string> texts;
+  std::vector<std::optional<double>> values;
+  std::string note;  ///< e.g. "WFC:max-cycles"; "" on converged rows
+};
+
+/// Receives a table a row at a time. begin_table always precedes the
+/// table's rows (and is called even for an empty table, so header-only
+/// output renders); any_note says whether any row of the table carries a
+/// stop note, which column-oriented sinks need before the first row.
+class RowSink {
+ public:
+  virtual ~RowSink() = default;
+  virtual void begin_table(const std::string& title,
+                           const std::vector<std::string>& columns,
+                           bool any_note) = 0;
+  virtual void row(const TableRow& row) = 0;
+  virtual void end_table() {}
+};
+
+/// The paper's aligned text layout (12-wide name column, 12-wide
+/// right-aligned cells), exactly what ResultTable::print always wrote.
+class TextTableSink : public RowSink {
+ public:
+  explicit TextTableSink(std::FILE* out) : out_(out) {}
+  void begin_table(const std::string& title,
+                   const std::vector<std::string>& columns,
+                   bool any_note) override;
+  void row(const TableRow& row) override;
+
+ private:
+  std::FILE* out_;
+};
+
+/// CSV section per table: `table,benchmark,<columns...>[,stop]` header
+/// then one full-precision line per row.
+class CsvSink : public RowSink {
+ public:
+  explicit CsvSink(std::FILE* out) : out_(out) {}
+  void begin_table(const std::string& title,
+                   const std::vector<std::string>& columns,
+                   bool any_note) override;
+  void row(const TableRow& row) override;
+
+ private:
+  std::FILE* out_;
+  std::string title_;
+  bool notes_ = false;
+};
+
+/// JSON objects {"table":..., "row":..., "<column>": value, ...}
+/// appended to an item list (the CLI helper wraps them in one array).
+class JsonItemsSink : public RowSink {
+ public:
+  explicit JsonItemsSink(std::vector<std::string>& items) : items_(&items) {}
+  void begin_table(const std::string& title,
+                   const std::vector<std::string>& columns,
+                   bool any_note) override;
+  void row(const TableRow& row) override;
+
+ private:
+  std::vector<std::string>* items_;
+  std::string title_;
+  std::vector<std::string> columns_;
+};
+
+/// Incrementally builds one JSON object for a JSONL line. Fields keep
+/// insertion order; number rendering matches the JSON sinks (%.17g,
+/// non-finite -> null) so the same value always serializes identically.
+class JsonlObject {
+ public:
+  JsonlObject& u64(const char* key, std::uint64_t value);
+  JsonlObject& number(const char* key, double value);
+  JsonlObject& text(const char* key, const std::string& value);
+  JsonlObject& boolean(const char* key, bool value);
+  JsonlObject& strings(const char* key, const std::vector<std::string>& value);
+
+  /// The closed "{...}" object (no trailing newline).
+  std::string str() const { return body_ + "}"; }
+
+ private:
+  void begin_field(const char* key);
+  std::string body_ = "{";
+};
+
+/// Append-mode JSONL. As a RowSink it writes table rows in the same
+/// object shape as JsonItemsSink, one per line; line() appends an
+/// arbitrary pre-built object (what campaign shard journals write).
+/// Every line is fflushed immediately by default — the checkpoint
+/// durability the campaign resume protocol depends on.
+class JsonlSink : public RowSink {
+ public:
+  explicit JsonlSink(std::FILE* out, bool flush_each_line = true)
+      : out_(out), flush_(flush_each_line) {}
+
+  void begin_table(const std::string& title,
+                   const std::vector<std::string>& columns,
+                   bool any_note) override;
+  void row(const TableRow& row) override;
+
+  /// Writes one complete object line ("{...}" + newline) and flushes.
+  void line(const std::string& object_text);
+
+ private:
+  std::FILE* out_;
+  bool flush_;
+  std::string title_;
+  std::vector<std::string> columns_;
+};
+
+}  // namespace safespec::experiment

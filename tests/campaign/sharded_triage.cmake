@@ -1,0 +1,77 @@
+# Sharded-fuzz reproducibility check (ctest -P script).
+#
+# The same fuzz campaign runs once as a single shard and once as two
+# concurrent OS processes owning disjoint shards. Both merged artifacts
+# must be byte-identical and both triage reports must match. Inputs:
+# -DDRIVER, -DMANIFEST1 (shards=1), -DMANIFEST2 (same axes, shards=2),
+# -DWORK. The manifests use mutate=commit-xor, so every seed fails and
+# triage has real groups to deduplicate; campaign_driver triage exits 1
+# on failures by design.
+
+function(run_or_die)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (rc=${rc}): ${ARGN}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE ${WORK})
+file(MAKE_DIRECTORY ${WORK}/one ${WORK}/two)
+
+# Single-process reference.
+run_or_die(${DRIVER} run --manifest=${MANIFEST1} --dir=${WORK}/one
+           --threads=2)
+
+# Two real processes, one shard each, concurrently.
+execute_process(COMMAND sh -c
+  "${DRIVER} run --manifest=${MANIFEST2} --dir=${WORK}/two --shard=0 \
+     >/dev/null 2>&1 & p0=$!; \
+   ${DRIVER} run --manifest=${MANIFEST2} --dir=${WORK}/two --shard=1 \
+     >/dev/null 2>&1 & p1=$!; \
+   wait $p0 && wait $p1"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded runs failed (rc=${rc})")
+endif()
+
+# Merged artifacts: byte-identical regardless of the split.
+run_or_die(${DRIVER} merge --manifest=${MANIFEST1} --dir=${WORK}/one
+           --out=${WORK}/one.merged.jsonl)
+run_or_die(${DRIVER} merge --manifest=${MANIFEST2} --dir=${WORK}/two
+           --out=${WORK}/two.merged.jsonl)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK}/one.merged.jsonl ${WORK}/two.merged.jsonl
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "sharded merge differs from single-shard merge")
+endif()
+
+# Triage reports: identical text and JSON, and rc=1 (failures found).
+foreach(side one two)
+  if(side STREQUAL "one")
+    set(manifest ${MANIFEST1})
+  else()
+    set(manifest ${MANIFEST2})
+  endif()
+  execute_process(
+    COMMAND ${DRIVER} triage --manifest=${manifest} --dir=${WORK}/${side}
+            --json=${WORK}/${side}.triage.json
+    OUTPUT_VARIABLE triage_${side} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "triage on ${side} exited ${rc}; expected 1 (mutated campaign "
+      "must report failures)")
+  endif()
+endforeach()
+
+if(NOT triage_one STREQUAL triage_two)
+  message(FATAL_ERROR "triage text reports differ:\n--- one ---\n"
+    "${triage_one}\n--- two ---\n${triage_two}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+  ${WORK}/one.triage.json ${WORK}/two.triage.json
+  RESULT_VARIABLE diff)
+if(NOT diff EQUAL 0)
+  message(FATAL_ERROR "triage JSON reports differ")
+endif()
+message(STATUS "two-process sharded triage reproduces the single-shard report")

@@ -234,6 +234,30 @@ TEST(ResultTable, StopNotesSurfaceInEverySink) {
   EXPECT_NE(items[1].find("\"stop\":\"WFC:max-cycles\""), std::string::npos);
 }
 
+TEST(ResultTable, JsonlSinkWritesAppendJsonObjectsOnePerLine) {
+  ResultTable table("T", {"a", "b"});
+  table.add_row("good", {1.0, 2.5});
+  table.add_row("bad", {3.0, 4.0});
+  table.annotate_last_row("WFC:max-cycles");
+
+  std::vector<std::string> items;
+  table.append_json(items);
+  ASSERT_EQ(items.size(), 2u);
+
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  JsonlSink sink(tmp);
+  table.emit(sink);
+  std::rewind(tmp);
+  std::string text(4096, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), tmp));
+  std::fclose(tmp);
+
+  // One line per row, each byte-identical to the JSON item emitter's
+  // object for that row: JSONL is the same objects, newline-delimited.
+  EXPECT_EQ(text, items[0] + "\n" + items[1] + "\n");
+}
+
 TEST(ResultTable, NoNotesMeansUnchangedCsvShape) {
   ResultTable table("T", {"a"});
   table.add_row("good", {1.0});

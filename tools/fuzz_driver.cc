@@ -9,14 +9,17 @@
 // runs it through every protection policy x machine preset, and checks
 // the three differential invariants (oracle equivalence, policy
 // invariance, shadow drain). Failing seeds print one-line repro
-// commands; the exit code is the number of failing seeds (capped at 125).
+// commands; the exit code is 1 when any seed failed, 0 otherwise (so
+// scripts and CI see a plain pass/fail — per-seed detail lives in the
+// output, and large sweeps belong to campaign_driver, which journals
+// every verdict).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
-#include "common/json.h"
+#include "common/cli.h"
 #include "fuzz/differential.h"
 #include "fuzz/generator.h"
 #include "fuzz/fuzz_spec.h"
@@ -26,26 +29,6 @@
 #include "trace/trace_workload.h"
 
 namespace {
-
-/// Strict numeric flag parsing: a typo'd "--count=abc" must fail loudly,
-/// not silently check zero seeds and exit green.
-std::uint64_t parse_u64_arg(const char* value, const char* flag) {
-  try {
-    return safespec::json::parse_u64(value, flag);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    std::exit(2);
-  }
-}
-
-int parse_int_arg(const char* value, const char* flag) {
-  const std::uint64_t v = parse_u64_arg(value, flag);
-  if (v > 10'000'000) {
-    std::fprintf(stderr, "%s=%s is out of range\n", flag, value);
-    std::exit(2);
-  }
-  return static_cast<int>(v);
-}
 
 void usage(const char* prog, std::FILE* out) {
   std::fprintf(
@@ -72,28 +55,6 @@ void usage(const char* prog, std::FILE* out) {
       prog);
 }
 
-std::vector<std::string> split_csv(const std::string& text) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t comma = text.find(',', start);
-    const std::size_t end = comma == std::string::npos ? text.size() : comma;
-    if (end > start) out.push_back(text.substr(start, end - start));
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return out;
-}
-
-bool flag_value(const char* arg, const char* name, const char** value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -109,50 +70,30 @@ int main(int argc, char** argv) {
   fuzz::FuzzSpec spec;
   fuzz::DifferentialConfig config;
 
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    // "--flag value" is accepted as well as "--flag=value".
-    const auto next_value = [&](const char* name) -> bool {
-      if (std::strcmp(arg, name) == 0 && i + 1 < argc) {
-        value = argv[++i];
-        return true;
-      }
-      return false;
-    };
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      usage(argv[0], stdout);
-      return 0;
-    } else if (flag_value(arg, "--seed", &value) || next_value("--seed")) {
-      first_seed = parse_u64_arg(value, "--seed");
-    } else if (flag_value(arg, "--count", &value) || next_value("--count")) {
-      count = parse_int_arg(value, "--count");
-    } else if (flag_value(arg, "--threads", &value) || next_value("--threads")) {
-      threads = parse_int_arg(value, "--threads");
-    } else if (flag_value(arg, "--spec", &value) || next_value("--spec")) {
-      spec_path = value;
-    } else if (flag_value(arg, "--policies", &value) || next_value("--policies")) {
-      config.policies = split_csv(value);
-    } else if (flag_value(arg, "--presets", &value) || next_value("--presets")) {
-      config.presets = split_csv(value);
-    } else if (flag_value(arg, "--cores", &value) || next_value("--cores")) {
-      config.cores = parse_int_arg(value, "--cores");
-      if (config.cores < 1 || config.cores > 64) {
-        std::fprintf(stderr, "--cores=%s is out of range (1..64)\n", value);
-        return 2;
-      }
-    } else if (std::strcmp(arg, "--dump") == 0) {
-      dump = true;
-    } else if (flag_value(arg, "--trace", &value) || next_value("--trace")) {
-      trace_path = value;
-    } else if (std::strcmp(arg, "--print-spec") == 0) {
-      print_spec = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg);
-      usage(argv[0], stderr);
-      return 2;
-    }
-  }
+  // Every value flag accepts "--flag value" as well as "--flag=value",
+  // as the hand-rolled loop always did.
+  cli::FlagSet flags(usage);
+  flags.u64("--seed", &first_seed, /*separated=*/true)
+      .bounded_int("--count", &count, /*separated=*/true)
+      .bounded_int("--threads", &threads, /*separated=*/true)
+      .string("--spec", &spec_path, /*separated=*/true)
+      .csv_list("--policies", &config.policies, /*separated=*/true)
+      .csv_list("--presets", &config.presets, /*separated=*/true)
+      .value(
+          "--cores",
+          [&config](const char* value) {
+            config.cores = cli::parse_int_or_exit(value, "--cores");
+            if (config.cores < 1 || config.cores > 64) {
+              std::fprintf(stderr, "--cores=%s is out of range (1..64)\n",
+                           value);
+              std::exit(2);
+            }
+          },
+          /*separated=*/true)
+      .set_true("--dump", &dump)
+      .string("--trace", &trace_path, /*separated=*/true)
+      .set_true("--print-spec", &print_spec);
+  flags.parse(argc, argv);
 
   if (!trace_path.empty() && !dump) {
     std::fprintf(stderr, "--trace requires --dump (it records the dumped "
@@ -222,6 +163,8 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(report.total_committed),
       report.failures.size());
 
-  const std::size_t failures = report.failures.size();
-  return static_cast<int>(failures > 125 ? 125 : failures);
+  // A plain pass/fail: anything in [2, 255] is reserved for usage and
+  // harness errors (and the historical count-of-failures code collided
+  // with shells' 126/127 and signal codes anyway).
+  return report.failures.empty() ? 0 : 1;
 }

@@ -25,70 +25,17 @@
 #include <string>
 #include <vector>
 
-#include "common/json.h"
+#include "campaign/perf_artifacts.h"
 
 namespace {
 
-struct Cell {
-  std::string workload, policy, preset;
-  std::string mode = "detailed";
-  int cores = 1;
-  std::uint64_t committed_instrs = 0;
-  std::uint64_t cycles = 0;
-  double wall_ms = 0.0;
-  double mips = 0.0;
-
-  /// "/mode" and "/cores=N" are appended only when non-default, so keys
-  /// from artifacts predating those axes keep matching their successors.
-  std::string key() const {
-    std::string k = workload + "/" + policy + "/" + preset;
-    if (mode != "detailed") k += "/" + mode;
-    if (cores > 1) k += "/cores=" + std::to_string(cores);
-    return k;
-  }
-};
-
-/// Member lookup that treats absence as malformed input (exit 2), so a
-/// schema drift between perf_driver versions reports instead of crashing.
-const safespec::json::Value& require(const safespec::json::Value& obj,
-                                     const char* key,
-                                     const std::string& path) {
-  const auto* v = obj.find(key);
-  if (v == nullptr) {
-    throw std::invalid_argument(path + ": cell missing \"" + key + "\"");
-  }
-  return *v;
-}
+/// The cell schema, the key grammar and the loader live in
+/// campaign/perf_artifacts.h, shared with perf_driver's consumers (the
+/// campaign trend report reads the same artifacts).
+using Cell = safespec::campaign::PerfCell;
 
 std::vector<Cell> load_cells(const std::string& path) {
-  const auto doc = safespec::json::parse_file(path);
-  const auto* cells = doc.find("cells");
-  if (cells == nullptr ||
-      cells->kind != safespec::json::Value::Kind::kArray) {
-    throw std::invalid_argument(path + ": no \"cells\" array");
-  }
-  std::vector<Cell> out;
-  out.reserve(cells->array.size());
-  for (const auto& v : cells->array) {
-    Cell c;
-    c.workload = require(v, "workload", path).text;
-    c.policy = require(v, "policy", path).text;
-    c.preset = require(v, "preset", path).text;
-    // Optional: artifacts from before the mode/cores axes have no such
-    // members; they are all detailed single-core cells.
-    if (const auto* mode = v.find("mode")) c.mode = mode->text;
-    if (const auto* cores = v.find("cores")) {
-      c.cores = static_cast<int>(safespec::json::as_u64(*cores, "cores"));
-    }
-    c.committed_instrs = safespec::json::as_u64(
-        require(v, "committed_instrs", path), "committed_instrs");
-    c.cycles = safespec::json::as_u64(require(v, "cycles", path), "cycles");
-    c.wall_ms =
-        safespec::json::as_double(require(v, "wall_ms", path), "wall_ms");
-    c.mips = safespec::json::as_double(require(v, "mips", path), "mips");
-    out.push_back(std::move(c));
-  }
-  return out;
+  return safespec::campaign::load_perf_cells(path);
 }
 
 const Cell* find_cell(const std::vector<Cell>& cells, const std::string& key) {

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "common/json.h"
+#include "common/cli.h"
 #include "safespec/policy.h"
 #include "sim/functional.h"
 #include "sim/machine.h"
@@ -123,15 +123,6 @@ struct CellResult {
   }
 };
 
-std::uint64_t parse_u64_arg(const char* value, const char* flag) {
-  try {
-    return safespec::json::parse_u64(value, flag);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    std::exit(2);
-  }
-}
-
 void usage(const char* prog, std::FILE* out) {
   std::fprintf(
       out,
@@ -193,8 +184,8 @@ std::vector<Cell> parse_cells(const std::string& text) {
     cell.preset = parts[2];
     for (std::size_t extra = 3; extra < parts.size(); ++extra) {
       if (parts[extra].rfind("cores=", 0) == 0) {
-        cell.cores = static_cast<int>(
-            parse_u64_arg(parts[extra].c_str() + 6, "--cells cores"));
+        cell.cores = static_cast<int>(safespec::cli::parse_u64_or_exit(
+            parts[extra].c_str() + 6, "--cells cores"));
       } else {
         cell.mode = parts[extra];
       }
@@ -203,15 +194,6 @@ std::vector<Cell> parse_cells(const std::string& text) {
     start = comma + 1;
   }
   return cells;
-}
-
-bool flag_value(const char* arg, const char* name, const char** value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
 }
 
 CellResult run_cell(const Cell& cell, std::uint64_t instrs, int repeat,
@@ -346,38 +328,27 @@ int main(int argc, char** argv) {
   sampling.warmup_instrs = 2'000;
   sampling.detail_instrs = 10'000;
 
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      usage(argv[0], stdout);
-      return 0;
-    } else if (flag_value(arg, "--instrs", &value)) {
-      instrs = parse_u64_arg(value, "--instrs");
-    } else if (flag_value(arg, "--repeat", &value)) {
-      repeat = static_cast<int>(parse_u64_arg(value, "--repeat"));
-      if (repeat < 1 || repeat > 100) {
-        std::fprintf(stderr, "--repeat must be in [1, 100]\n");
-        return 2;
-      }
-    } else if (flag_value(arg, "--out", &value)) {
-      out_path = value;
-    } else if (flag_value(arg, "--cells", &value)) {
-      cells = parse_cells(value);
-    } else if (flag_value(arg, "--set", &value)) {
-      overrides.push_back(value);
-    } else if (flag_value(arg, "--ff-interval", &value)) {
-      sampling.fast_forward_interval = parse_u64_arg(value, "--ff-interval");
-    } else if (flag_value(arg, "--warmup", &value)) {
-      sampling.warmup_instrs = parse_u64_arg(value, "--warmup");
-    } else if (flag_value(arg, "--detail", &value)) {
-      sampling.detail_instrs = parse_u64_arg(value, "--detail");
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg);
-      usage(argv[0], stderr);
-      return 2;
-    }
-  }
+  // Historical grammar preserved exactly: "--flag=value" forms only, any
+  // other argument (including "--flag value") is an error.
+  cli::FlagSet flags(usage);
+  flags.u64("--instrs", &instrs)
+      .value("--repeat",
+             [&repeat](const char* value) {
+               repeat = static_cast<int>(
+                   cli::parse_u64_or_exit(value, "--repeat"));
+               if (repeat < 1 || repeat > 100) {
+                 std::fprintf(stderr, "--repeat must be in [1, 100]\n");
+                 std::exit(2);
+               }
+             })
+      .string("--out", &out_path)
+      .value("--cells",
+             [&cells](const char* value) { cells = parse_cells(value); })
+      .repeated("--set", &overrides)
+      .u64("--ff-interval", &sampling.fast_forward_interval)
+      .u64("--warmup", &sampling.warmup_instrs)
+      .u64("--detail", &sampling.detail_instrs);
+  flags.parse(argc, argv);
 
   if (sampling.fast_forward_interval == 0) {
     sampling.fast_forward_interval = std::max<std::uint64_t>(instrs / 10, 1);

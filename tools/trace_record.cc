@@ -14,10 +14,9 @@
 // guarantee the trace frontend rests on, checked end to end through the
 // real file.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
-#include "common/json.h"
+#include "common/cli.h"
 #include "fuzz/fuzz_spec.h"
 #include "fuzz/generator.h"
 #include "sim/simulator.h"
@@ -47,24 +46,6 @@ void usage(const char* prog, std::FILE* out) {
       "                    stop reason / registers vs the original\n"
       "  --info=FILE       print a trace file's header summary and exit\n",
       prog, prog);
-}
-
-std::uint64_t parse_u64_arg(const char* value, const char* flag) {
-  try {
-    return json::parse_u64(value, flag);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    std::exit(2);
-  }
-}
-
-bool flag_value(const char* arg, const char* name, const char** value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
 }
 
 workloads::WorkloadImage image_of(const fuzz::FuzzProgram& fp) {
@@ -137,35 +118,21 @@ int main(int argc, char** argv) {
   bool compress = true;
   bool verify = false;
 
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    const char* value = nullptr;
-    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
-      usage(argv[0], stdout);
-      return 0;
-    } else if (flag_value(arg, "--out", &value)) {
-      out_path = value;
-    } else if (flag_value(arg, "--info", &value)) {
-      info_path = value;
-    } else if (flag_value(arg, "--profile", &value)) {
-      profile_name = value;
-    } else if (flag_value(arg, "--instrs", &value)) {
-      instrs = parse_u64_arg(value, "--instrs");
-    } else if (flag_value(arg, "--fuzz-seed", &value)) {
-      fuzz_seed = parse_u64_arg(value, "--fuzz-seed");
-      have_fuzz_seed = true;
-    } else if (flag_value(arg, "--fuzz-spec", &value)) {
-      fuzz_spec_path = value;
-    } else if (std::strcmp(arg, "--raw") == 0) {
-      compress = false;
-    } else if (std::strcmp(arg, "--verify") == 0) {
-      verify = true;
-    } else {
-      std::fprintf(stderr, "unknown argument: %s\n", arg);
-      usage(argv[0], stderr);
-      return 2;
-    }
-  }
+  // Historical grammar preserved exactly: "--flag=value" forms only.
+  cli::FlagSet flags(usage);
+  flags.string("--out", &out_path)
+      .string("--info", &info_path)
+      .string("--profile", &profile_name)
+      .u64("--instrs", &instrs)
+      .value("--fuzz-seed",
+             [&fuzz_seed, &have_fuzz_seed](const char* value) {
+               fuzz_seed = cli::parse_u64_or_exit(value, "--fuzz-seed");
+               have_fuzz_seed = true;
+             })
+      .string("--fuzz-spec", &fuzz_spec_path)
+      .boolean("--raw", [&compress] { compress = false; })
+      .set_true("--verify", &verify);
+  flags.parse(argc, argv);
 
   try {
     if (!info_path.empty()) return print_info(info_path);
